@@ -1,0 +1,92 @@
+// Figure 3 reproduction: running-time breakdown of each algorithm on the
+// 3-way and 4-way synthetic tensors at small scale (measured, P = 1) and at
+// large scale (modeled at the paper's P = 4096 with calibrated rates).
+//
+// The paper's Fig. 3 message: at 4096 cores the Gram+EVD variants are
+// dominated by the sequential EVD (3-way case), while HOSI/HOSI-DT replace
+// it with a cheap QR and become TTM/communication bound.
+
+#include "bench_util.hpp"
+#include "data/synthetic.hpp"
+#include "model/calibration.hpp"
+
+using namespace rahooi;
+using namespace rahooi::bench;
+
+namespace {
+
+void measured_breakdown(int d, idx_t n, idx_t r, CsvTable& table) {
+  const std::vector<idx_t> dims(d, n);
+  const std::vector<idx_t> ranks(d, r);
+  for (const Variant& v : paper_variants(2)) {
+    RunResult res = timed_run(1, [&](comm::Comm& world) {
+      auto grid = std::make_shared<dist::ProcessorGrid>(
+          world, std::vector<int>(d, 1));
+      auto x = std::make_shared<dist::DistTensor<float>>(
+          data::synthetic_tucker<float>(*grid, dims, ranks, 1e-4, 5));
+      return std::function<void()>([grid, x, &v, &ranks] {
+        if (v.algo == model::Algorithm::sthosvd) {
+          (void)core::sthosvd_fixed_rank(*x, ranks);
+        } else {
+          (void)core::hooi(*x, ranks, v.hooi);
+        }
+      });
+    });
+    table.begin_row();
+    table.add(std::to_string(d) + "-way");
+    table.add(std::string(model::algorithm_name(v.algo)));
+    table.add(res.seconds);
+    table.add(res.stats.seconds[static_cast<int>(Phase::ttm)]);
+    table.add(res.stats.seconds[static_cast<int>(Phase::gram)]);
+    table.add(res.stats.seconds[static_cast<int>(Phase::evd)]);
+    table.add(res.stats.seconds[static_cast<int>(Phase::contraction)]);
+    table.add(res.stats.seconds[static_cast<int>(Phase::qr)]);
+  }
+}
+
+void modeled_breakdown(int d, double n, double r, int p,
+                       const model::MachineRates& rates, CsvTable& table) {
+  for (const Variant& v : paper_variants(2)) {
+    const auto grid = model::best_grid(v.algo, d, n, r, 2, p, rates);
+    const auto c = model::predict(v.algo, model::Problem{d, n, r, 2, grid});
+    const double comm =
+        c.total_words() * rates.word_bytes / rates.bytes_per_sec;
+    table.begin_row();
+    table.add(std::to_string(d) + "-way");
+    table.add(std::string(model::algorithm_name(v.algo)));
+    table.add(p);
+    table.add(c.ttm_flops / rates.flops_per_sec);
+    table.add((c.gram_flops + c.contraction_flops) / rates.flops_per_sec);
+    table.add(c.evd_flops / rates.seq_flops_per_sec);
+    table.add(c.qr_flops / rates.seq_flops_per_sec);
+    table.add(comm);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 3: running-time breakdowns ===\n\n");
+
+  std::printf("--- measured at P = 1 (3-way 64^3 r=4, 4-way 24^4 r=3) ---\n\n");
+  CsvTable measured({"case", "algorithm", "total_s", "ttm_s", "gram_s",
+                     "evd_s", "contraction_s", "qr_s"});
+  measured_breakdown(3, 64, 4, measured);
+  measured_breakdown(4, 24, 3, measured);
+  emit(measured, "fig3_measured_p1");
+
+  std::printf("--- modeled at P = 4096, paper dims (3-way 3750^3 r=30, "
+              "4-way 560^4 r=10) ---\n\n");
+  const model::MachineRates rates = model::calibrate();
+  CsvTable modeled({"case", "algorithm", "P", "ttm_s", "llsv_par_s",
+                    "evd_seq_s", "qr_seq_s", "comm_s"});
+  modeled_breakdown(3, 3750, 30, 4096, rates, modeled);
+  modeled_breakdown(4, 560, 10, 4096, rates, modeled);
+  emit(modeled, "fig3_modeled_p4096");
+
+  std::printf("paper-claim check: in the 3-way case at 4096 cores the "
+              "Gram+EVD variants must be\nEVD-dominated (evd_seq_s is the "
+              "largest column for STHOSVD/HOOI/HOOI-DT) while\nHOSI/HOSI-DT "
+              "have no EVD term at all.\n");
+  return 0;
+}

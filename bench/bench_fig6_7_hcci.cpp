@@ -1,0 +1,37 @@
+// Figures 6 and 7 reproduction: rank-adaptive HOSI-DT vs STHOSVD on the
+// HCCI-like 4-way combustion dataset (paper: 672x672x33x626 double
+// precision on 128 cores; here: a scaled surrogate on 8 simulated ranks).
+//
+//   Fig. 6 content -> fig6_hcci_progress.csv
+//   Fig. 7 content -> fig7_hcci_breakdown.csv
+//
+// Paper claims: in this TTM-dominated regime the speedups are modest
+// (overshooting converges in one iteration and wins ~1-2x); perfect and
+// undershot ranks take all 3 iterations but achieve better compression.
+
+#include "data/science.hpp"
+#include "ra_study.hpp"
+
+using namespace rahooi;
+using namespace rahooi::bench;
+
+int main() {
+  const int p = 8;
+  std::printf("=== Figures 6-7: HCCI-like dataset (48x48x12x32, double "
+              "precision, %d simulated ranks, grid 1x2x2x2) ===\n\n", p);
+
+  CsvTable progress = progress_table();
+  CsvTable breakdown = breakdown_table();
+  run_ra_study<double>(
+      "hcci", p, {1, 2, 2, 2},
+      [](const dist::ProcessorGrid& grid) {
+        return data::hcci_like<double>(grid, 48, 48, 12, 32);
+      },
+      progress, breakdown);
+
+  std::printf("--- Fig. 6: progression of time, error, relative size ---\n");
+  emit(progress, "fig6_hcci_progress");
+  std::printf("--- Fig. 7: running-time breakdown ---\n");
+  emit(breakdown, "fig7_hcci_breakdown");
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Kernel microbenchmarks (google-benchmark): the local building blocks
+// whose measured throughput calibrates the strong-scaling model, plus
+// direct head-to-head sweeps of the paper's two optimizations.
+
+#include <benchmark/benchmark.h>
+
+#include "comm/runtime.hpp"
+#include "common/rng.hpp"
+#include "core/hooi.hpp"
+#include "data/synthetic.hpp"
+#include "la/eig.hpp"
+#include "la/qr.hpp"
+#include "la/svd.hpp"
+#include "tensor/ttm.hpp"
+
+namespace {
+
+using namespace rahooi;
+using la::idx_t;
+
+template <typename T>
+la::Matrix<T> random_matrix(idx_t rows, idx_t cols, std::uint64_t seed) {
+  CounterRng rng(seed);
+  la::Matrix<T> m(rows, cols);
+  for (idx_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<T>(rng.normal(i));
+  }
+  return m;
+}
+
+void BM_GemmSquare(benchmark::State& state) {
+  const idx_t n = state.range(0);
+  auto a = random_matrix<float>(n, n, 1);
+  auto b = random_matrix<float>(n, n, 2);
+  la::Matrix<float> c(n, n);
+  for (auto _ : state) {
+    la::gemm<float>(la::Op::none, la::Op::none, 1.0f, a, b, 0.0f, c.ref());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_GemmTtmShape(benchmark::State& state) {
+  // The dominant TTM GEMM: (left x n) * (n x r) with small r.
+  const idx_t left = 4096, n = state.range(0), r = 16;
+  auto a = random_matrix<float>(left, n, 3);
+  auto b = random_matrix<float>(n, r, 4);
+  la::Matrix<float> c(left, r);
+  for (auto _ : state) {
+    la::gemm<float>(la::Op::none, la::Op::none, 1.0f, a, b, 0.0f, c.ref());
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+
+void BM_Syrk(benchmark::State& state) {
+  const idx_t n = state.range(0), k = 4096;
+  auto a = random_matrix<float>(n, k, 5);
+  la::Matrix<float> c(n, n);
+  for (auto _ : state) {
+    la::syrk<float>(1.0f, a, 0.0f, c.ref());
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+
+void BM_Qrcp(benchmark::State& state) {
+  const idx_t n = state.range(0), r = 24;
+  auto a = random_matrix<float>(n, r, 6);
+  for (auto _ : state) {
+    auto q = la::qrcp<float>(a.cref());
+    benchmark::DoNotOptimize(q.q.data());
+  }
+}
+
+void BM_SymEvd(benchmark::State& state) {
+  const idx_t n = state.range(0);
+  auto a = random_matrix<float>(n, n, 7);
+  la::Matrix<float> s(n, n);
+  for (idx_t j = 0; j < n; ++j) {
+    for (idx_t i = 0; i < n; ++i) s(i, j) = 0.5f * (a(i, j) + a(j, i));
+  }
+  for (auto _ : state) {
+    auto evd = la::sym_evd<float>(s.cref());
+    benchmark::DoNotOptimize(evd.vectors.data());
+  }
+}
+
+void BM_TtmMode(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  tensor::Tensor<float> x({64, 64, 64});
+  CounterRng rng(8);
+  for (idx_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.normal(i));
+  }
+  auto u = random_matrix<float>(64, 8, 9);
+  for (auto _ : state) {
+    auto y = tensor::ttm(x, mode, u.cref(), la::Op::transpose);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+
+void BM_ModeGram(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  tensor::Tensor<float> x({48, 48, 48});
+  CounterRng rng(10);
+  for (idx_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.normal(i));
+  }
+  for (auto _ : state) {
+    auto g = tensor::mode_gram(x, mode);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+
+void BM_Contraction(benchmark::State& state) {
+  tensor::Tensor<float> y({64, 32, 32});
+  CounterRng rng(11);
+  for (idx_t i = 0; i < y.size(); ++i) {
+    y[i] = static_cast<float>(rng.normal(i));
+  }
+  auto u = random_matrix<float>(64, 8, 12);
+  auto g = tensor::ttm(y, 0, u.cref(), la::Op::transpose);
+  for (auto _ : state) {
+    auto z = tensor::contract_all_but_one(y, g, 0);
+    benchmark::DoNotOptimize(z.data());
+  }
+}
+
+void BM_JacobiSvd(benchmark::State& state) {
+  const idx_t n = state.range(0);
+  auto a = random_matrix<float>(2 * n, n, 13);
+  for (auto _ : state) {
+    auto s = la::svd_jacobi<float>(a.cref());
+    benchmark::DoNotOptimize(s.u.data());
+  }
+}
+
+// Head-to-head: one full HOOI sweep, direct vs dimension tree (the §3.3
+// ablation) and Gram+EVD vs subspace iteration (the §3.4 ablation) on a
+// serial grid.
+void BM_HooiSweep(benchmark::State& state) {
+  const bool tree = state.range(0) != 0;
+  const bool si = state.range(1) != 0;
+  comm::Runtime::run(1, [&](comm::Comm& world) {
+    dist::ProcessorGrid grid(world, {1, 1, 1, 1});
+    auto x = data::synthetic_tucker<float>(grid, {24, 24, 24, 24},
+                                           {4, 4, 4, 4}, 1e-4, 14);
+    auto factors =
+        core::random_factors<float>({24, 24, 24, 24}, {4, 4, 4, 4}, 1);
+    core::HooiOptions o;
+    o.use_dimension_tree = tree;
+    o.svd_method = si ? core::SvdMethod::subspace_iteration
+                      : core::SvdMethod::gram_evd;
+    for (auto _ : state) {
+      auto core_t = core::hooi_sweep(x, factors, {4, 4, 4, 4}, o);
+      benchmark::DoNotOptimize(core_t.local().data());
+    }
+  });
+}
+
+void BM_AllreduceSimulated(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const idx_t n = 1 << 16;
+  for (auto _ : state) {
+    comm::Runtime::run(p, [&](comm::Comm& world) {
+      std::vector<float> buf(n, float(world.rank()));
+      world.allreduce_sum(buf.data(), n);
+      benchmark::DoNotOptimize(buf.data());
+    });
+  }
+}
+
+BENCHMARK(BM_GemmSquare)->Arg(128)->Arg(256);
+BENCHMARK(BM_GemmTtmShape)->Arg(128)->Arg(512);
+BENCHMARK(BM_Syrk)->Arg(64)->Arg(256);
+BENCHMARK(BM_Qrcp)->Arg(256)->Arg(2048);
+BENCHMARK(BM_SymEvd)->Arg(64)->Arg(192);
+BENCHMARK(BM_TtmMode)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_ModeGram)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_Contraction);
+BENCHMARK(BM_JacobiSvd)->Arg(32);
+BENCHMARK(BM_HooiSweep)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1});
+BENCHMARK(BM_AllreduceSimulated)->Arg(2)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

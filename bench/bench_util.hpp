@@ -1,0 +1,106 @@
+#pragma once
+// Shared harness for the figure/table reproduction benches: runs an
+// algorithm under the simulated message-passing runtime, collects wall time
+// and the per-rank instrumentation counters, and provides the variant
+// configuration table used across benches.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "comm/runtime.hpp"
+#include "common/csv.hpp"
+#include "common/stopwatch.hpp"
+#include "core/hooi.hpp"
+#include "core/rank_adaptive.hpp"
+#include "model/cost_model.hpp"
+
+namespace rahooi::bench {
+
+using la::idx_t;
+
+/// Wall time plus rank-0 counters for one distributed run. Counters are
+/// taken from rank 0; all ranks perform (near-)identical work under the
+/// balanced block distribution used here.
+struct RunResult {
+  double seconds = 0.0;
+  Stats stats;
+};
+
+/// Runs a setup + timed-work pair on `p` rank-threads. `body(world)`
+/// performs untimed setup (grid construction, dataset generation) and
+/// returns the closure whose execution is timed between barriers. All ranks
+/// must run the identical SPMD region.
+inline RunResult timed_run(
+    int p,
+    const std::function<std::function<void()>(comm::Comm&)>& body) {
+  RunResult out;
+  std::vector<Stats> per_rank;
+  comm::Runtime::run(
+      p,
+      [&](comm::Comm& world) {
+        const std::function<void()> work = body(world);
+        world.barrier();
+        Stopwatch clock;
+        work();
+        world.barrier();
+        if (world.rank() == 0) out.seconds = clock.elapsed();
+      },
+      &per_rank);
+  out.stats = per_rank[0];
+  return out;
+}
+
+/// The five algorithms of the paper's evaluation with their HooiOptions.
+struct Variant {
+  model::Algorithm algo;
+  core::HooiOptions hooi;  ///< meaningful for the four HOOI variants
+};
+
+inline std::vector<Variant> paper_variants(int iters = 2) {
+  std::vector<Variant> out;
+  out.push_back({model::Algorithm::sthosvd, {}});
+  for (const auto algo : {model::Algorithm::hooi, model::Algorithm::hooi_dt,
+                          model::Algorithm::hosi, model::Algorithm::hosi_dt}) {
+    core::HooiOptions o;
+    o.svd_method = (algo == model::Algorithm::hosi ||
+                    algo == model::Algorithm::hosi_dt)
+                       ? core::SvdMethod::subspace_iteration
+                       : core::SvdMethod::gram_evd;
+    o.use_dimension_tree = algo == model::Algorithm::hooi_dt ||
+                           algo == model::Algorithm::hosi_dt;
+    o.max_iters = iters;
+    out.push_back({algo, o});
+  }
+  return out;
+}
+
+inline std::string dims_to_string(const std::vector<idx_t>& dims) {
+  std::string s;
+  for (std::size_t j = 0; j < dims.size(); ++j) {
+    if (j) s += 'x';
+    s += std::to_string(dims[j]);
+  }
+  return s;
+}
+
+inline std::string grid_to_string(const std::vector<int>& grid) {
+  std::string s;
+  for (std::size_t j = 0; j < grid.size(); ++j) {
+    if (j) s += 'x';
+    s += std::to_string(grid[j]);
+  }
+  return s;
+}
+
+/// Emits the table to stdout (pretty) and to <name>.csv in the working
+/// directory.
+inline void emit(const CsvTable& table, const std::string& name) {
+  std::printf("%s\n", table.to_pretty().c_str());
+  const std::string path = name + ".csv";
+  table.write(path);
+  std::printf("[csv written to %s]\n\n", path.c_str());
+}
+
+}  // namespace rahooi::bench

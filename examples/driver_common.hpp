@@ -1,0 +1,78 @@
+#pragma once
+// Shared machinery for the artifact-style drivers (sthosvd_driver,
+// hooi_driver): parameter-file handling, grid construction, and synthetic /
+// simulation-surrogate input selection.
+//
+// Recognized dataset keys:
+//   Dataset = synthetic (default) | miranda | hcci | sp
+// Synthetic inputs use "Construction Ranks" (or "Ranks") and "Noise" as in
+// the paper's artifact appendix.
+
+#include <cstdio>
+#include <string>
+
+#include "comm/runtime.hpp"
+#include "data/science.hpp"
+#include "data/synthetic.hpp"
+#include "io/param_file.hpp"
+#include "io/tensor_io.hpp"
+
+namespace rahooi::examples {
+
+inline io::ParamFile load_params(int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--parameter-file" && i + 1 < argc) {
+      path = argv[i + 1];
+    }
+  }
+  RAHOOI_REQUIRE(!path.empty(),
+                 "usage: driver --parameter-file <config file>");
+  return io::ParamFile::load(path);
+}
+
+template <typename T>
+dist::DistTensor<T> make_input(const io::ParamFile& params,
+                               const dist::ProcessorGrid& grid,
+                               const std::vector<la::idx_t>& dims,
+                               const std::vector<la::idx_t>& ranks) {
+  const std::string dataset = params.get_string("Dataset", "synthetic");
+  const auto seed =
+      static_cast<std::uint64_t>(params.get_int("Seed", 1));
+  if (params.has("Input file")) {
+    // Each rank reads only its block (parallel-IO style).
+    return io::read_dist_tensor<T>(grid, dims,
+                                   params.get_string("Input file"));
+  }
+  if (dataset == "synthetic") {
+    const double noise = params.get_double("Noise", 1e-4);
+    return data::synthetic_tucker<T>(grid, dims, ranks, noise, seed);
+  }
+  if (dataset == "miranda") {
+    RAHOOI_REQUIRE(dims.size() == 3, "miranda dataset is 3-way");
+    return data::miranda_like<T>(grid, dims[0], seed);
+  }
+  if (dataset == "hcci") {
+    RAHOOI_REQUIRE(dims.size() == 4, "hcci dataset is 4-way");
+    return data::hcci_like<T>(grid, dims[0], dims[1], dims[2], dims[3],
+                              seed);
+  }
+  if (dataset == "sp") {
+    RAHOOI_REQUIRE(dims.size() == 5, "sp dataset is 5-way");
+    return data::sp_like<T>(grid, dims[0], dims[1], dims[2], dims[3],
+                            dims[4], seed);
+  }
+  throw precondition_error("unknown Dataset: " + dataset);
+}
+
+inline void print_timing_breakdown(const Stats& s) {
+  std::printf("timing breakdown (rank 0):\n");
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    if (s.seconds[i] <= 0.0 && s.flops[i] <= 0.0) continue;
+    std::printf("  %-14s %8.3fs  %10.3f gflop  %8.3f MB sent\n",
+                phase_name(static_cast<Phase>(i)), s.seconds[i],
+                s.flops[i] / 1e9, s.comm_bytes_by_phase[i] / 1e6);
+  }
+}
+
+}  // namespace rahooi::examples

@@ -1,0 +1,29 @@
+#pragma once
+// Shared reporting helpers for the example programs.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sthosvd.hpp"
+
+namespace rahooi::examples {
+
+inline std::string dims_to_string(const std::vector<la::idx_t>& dims) {
+  std::string s;
+  for (std::size_t j = 0; j < dims.size(); ++j) {
+    if (j) s += 'x';
+    s += std::to_string(dims[j]);
+  }
+  return s;
+}
+
+template <typename T>
+void print_result(const char* label, const core::TuckerResult<T>& res,
+                  double seconds) {
+  std::printf("%-10s ranks=%-14s rel_error=%.4e compression=%7.1fx  %.3fs\n",
+              label, dims_to_string(res.ranks()).c_str(),
+              res.relative_error(), res.compression_ratio(), seconds);
+}
+
+}  // namespace rahooi::examples

@@ -1,0 +1,225 @@
+#pragma once
+// Communicator handle: the MPI-like API the distributed tensor layer and the
+// paper's algorithms are written against.
+//
+// Semantics mirror the MPI collectives TuckerMPI uses. All ranks of a
+// communicator must call the same collective with compatible arguments
+// (counts arrays must match across ranks, as in MPI). Collectives are
+// blocking and bulk-synchronous.
+//
+// Every collective records the bytes this rank communicates, using the
+// communication volume of the standard large-message algorithm for that
+// collective (ring allgather, recursive-halving reduce-scatter, Rabenseifner
+// allreduce, binomial bcast/reduce). This is what the Table 2 reproduction
+// measures.
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "comm/context.hpp"
+#include "common/contracts.hpp"
+#include "common/stats.hpp"
+
+namespace rahooi::comm {
+
+using idx_t = std::int64_t;
+
+class Comm {
+ public:
+  Comm() = default;
+  Comm(std::shared_ptr<Context> ctx, int rank)
+      : ctx_(std::move(ctx)), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const { return ctx_ ? ctx_->size() : 1; }
+  bool valid() const { return ctx_ != nullptr; }
+
+  void barrier() const { ctx_->barrier_wait(); }
+
+  /// Root's buffer is copied to every rank.
+  template <typename T>
+  void bcast(T* data, idx_t n, int root) const {
+    RAHOOI_REQUIRE(root >= 0 && root < size(), "bcast: bad root");
+    if (size() == 1) return;
+    ctx_->post(rank_, SlotEntry{data, data, nullptr, 0});
+    ctx_->barrier_wait();
+    if (rank_ != root) {
+      const T* src = static_cast<const T*>(ctx_->slot(root).in);
+      std::copy(src, src + n, data);
+    }
+    ctx_->barrier_wait();
+    stats::add_comm(CollectiveKind::bcast, bytes_of<T>(n));
+  }
+
+  /// Element-wise sum of all ranks' `in` arrays lands in `out` on root.
+  template <typename T>
+  void reduce_sum(const T* in, T* out, idx_t n, int root) const {
+    RAHOOI_REQUIRE(root >= 0 && root < size(), "reduce: bad root");
+    if (size() == 1) {
+      if (out != in) std::copy(in, in + n, out);
+      return;
+    }
+    ctx_->post(rank_, SlotEntry{in, out, nullptr, 0});
+    ctx_->barrier_wait();
+    if (rank_ == root) {
+      std::copy(in, in + n, out);
+      for (int r = 0; r < size(); ++r) {
+        if (r == root) continue;
+        const T* src = static_cast<const T*>(ctx_->slot(r).in);
+        for (idx_t i = 0; i < n; ++i) out[i] += src[i];
+      }
+    }
+    ctx_->barrier_wait();
+    stats::add_comm(CollectiveKind::reduce, bytes_of<T>(n));
+  }
+
+  /// In-place element-wise sum across all ranks; every rank gets the total.
+  ///
+  /// As required of MPI_Allreduce, every rank receives the *identical*
+  /// result: the reduction runs in canonical rank order on each rank, so
+  /// floating-point rounding cannot make replicated state (factor
+  /// matrices, Gram spectra) diverge across ranks — divergence there would
+  /// let ranks take different truncation decisions and desynchronize the
+  /// subsequent collectives.
+  template <typename T>
+  void allreduce_sum(T* data, idx_t n) const {
+    if (size() == 1) return;
+    ctx_->post(rank_, SlotEntry{data, nullptr, nullptr, 0});
+    ctx_->barrier_wait();
+    std::vector<T> acc(static_cast<const T*>(ctx_->slot(0).in),
+                       static_cast<const T*>(ctx_->slot(0).in) + n);
+    for (int r = 1; r < size(); ++r) {
+      const T* src = static_cast<const T*>(ctx_->slot(r).in);
+      for (idx_t i = 0; i < n; ++i) acc[i] += src[i];
+    }
+    ctx_->barrier_wait();
+    std::copy(acc.begin(), acc.end(), data);
+    ctx_->barrier_wait();
+    // Rabenseifner: reduce-scatter + allgather, 2n(P-1)/P per rank.
+    stats::add_comm(CollectiveKind::allreduce,
+                    2.0 * bytes_of<T>(n) * (size() - 1) / size());
+  }
+
+  /// Convenience scalar allreduce.
+  double allreduce_scalar(double v) const {
+    allreduce_sum(&v, 1);
+    return v;
+  }
+
+  /// Sums all ranks' full-length `in` arrays (length = sum of counts), then
+  /// scatters: rank r receives segment r (length counts[r]) of the total
+  /// into `out`. `counts` must be identical on all ranks.
+  template <typename T>
+  void reduce_scatter_sum(const T* in, T* out,
+                          const std::vector<idx_t>& counts) const {
+    RAHOOI_REQUIRE(static_cast<int>(counts.size()) == size(),
+                   "reduce_scatter: counts size != communicator size");
+    const idx_t total = std::accumulate(counts.begin(), counts.end(),
+                                        idx_t{0});
+    idx_t offset = 0;
+    for (int r = 0; r < rank_; ++r) offset += counts[r];
+    const idx_t mine = counts[rank_];
+    if (size() == 1) {
+      std::copy(in, in + mine, out);
+      return;
+    }
+    ctx_->post(rank_, SlotEntry{in, nullptr, nullptr, 0});
+    ctx_->barrier_wait();
+    std::fill(out, out + mine, T{});
+    for (int r = 0; r < size(); ++r) {
+      const T* src = static_cast<const T*>(ctx_->slot(r).in) + offset;
+      for (idx_t i = 0; i < mine; ++i) out[i] += src[i];
+    }
+    ctx_->barrier_wait();
+    // Recursive halving: n(P-1)/P per rank on the full input length.
+    stats::add_comm(CollectiveKind::reduce_scatter,
+                    bytes_of<T>(total) * (size() - 1) / size());
+  }
+
+  /// Concatenates all ranks' `in` arrays (rank r contributes counts[r]
+  /// elements) into `out` on every rank, ordered by rank. `counts` must be
+  /// identical on all ranks.
+  template <typename T>
+  void allgatherv(const T* in, T* out, const std::vector<idx_t>& counts) const {
+    RAHOOI_REQUIRE(static_cast<int>(counts.size()) == size(),
+                   "allgatherv: counts size != communicator size");
+    if (size() == 1) {
+      std::copy(in, in + counts[0], out);
+      return;
+    }
+    ctx_->post(rank_, SlotEntry{in, nullptr, nullptr, 0});
+    ctx_->barrier_wait();
+    idx_t offset = 0;
+    idx_t received = 0;
+    for (int r = 0; r < size(); ++r) {
+      const T* src = static_cast<const T*>(ctx_->slot(r).in);
+      std::copy(src, src + counts[r], out + offset);
+      offset += counts[r];
+      if (r != rank_) received += counts[r];
+    }
+    ctx_->barrier_wait();
+    // Ring: each rank receives everyone else's contribution.
+    stats::add_comm(CollectiveKind::allgather, bytes_of<T>(received));
+  }
+
+  /// Equal-count allgather convenience: every rank contributes n elements.
+  template <typename T>
+  void allgather(const T* in, T* out, idx_t n) const {
+    allgatherv(in, out, std::vector<idx_t>(size(), n));
+  }
+
+  /// Personalized all-to-all: rank s sends sendcounts[r] elements starting
+  /// at sdispls[r] to each rank r; rank r receives them at rdispls[s] in
+  /// `out`. Requires sendcounts_s[r] == recvcounts_r[s], as in MPI.
+  template <typename T>
+  void alltoallv(const T* in, const std::vector<idx_t>& sdispls, T* out,
+                 const std::vector<idx_t>& recvcounts,
+                 const std::vector<idx_t>& rdispls) const {
+    RAHOOI_REQUIRE(static_cast<int>(sdispls.size()) == size() &&
+                       static_cast<int>(recvcounts.size()) == size() &&
+                       static_cast<int>(rdispls.size()) == size(),
+                   "alltoallv: argument arrays must have one entry per rank");
+    ctx_->post(rank_, SlotEntry{in, nullptr, sdispls.data(), 0});
+    ctx_->barrier_wait();
+    idx_t off_rank_bytes = 0;
+    for (int s = 0; s < size(); ++s) {
+      const auto& peer = ctx_->slot(s);
+      const T* src =
+          static_cast<const T*>(peer.in) + peer.meta[rank_];
+      std::copy(src, src + recvcounts[s], out + rdispls[s]);
+      if (s != rank_) off_rank_bytes += bytes_of<T>(recvcounts[s]);
+    }
+    ctx_->barrier_wait();
+    stats::add_comm(CollectiveKind::alltoall,
+                    static_cast<double>(off_rank_bytes));
+  }
+
+  /// Blocking tagged point-to-point.
+  template <typename T>
+  void send(const T* data, idx_t n, int dest, int tag) const {
+    ctx_->send_bytes(dest, rank_, tag, data, sizeof(T) * n);
+    stats::add_comm(CollectiveKind::point_to_point, bytes_of<T>(n));
+  }
+
+  template <typename T>
+  void recv(T* data, idx_t n, int source, int tag) const {
+    ctx_->recv_bytes(rank_, source, tag, data, sizeof(T) * n);
+  }
+
+  /// Partitions the communicator: ranks with equal `color` form a new
+  /// communicator, ordered by (key, old rank). Collective over all ranks.
+  Comm split(int color, int key) const;
+
+ private:
+  template <typename T>
+  static double bytes_of(idx_t n) {
+    return static_cast<double>(n) * sizeof(T);
+  }
+
+  std::shared_ptr<Context> ctx_;
+  int rank_ = 0;
+};
+
+}  // namespace rahooi::comm

@@ -1,0 +1,74 @@
+#include "comm/context.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/contracts.hpp"
+
+namespace rahooi::comm {
+
+Context::Context(int size)
+    : size_(size), slots_(size), children_(size), mailboxes_(size) {
+  RAHOOI_REQUIRE(size >= 1, "communicator size must be positive");
+  for (auto& mb : mailboxes_) mb = std::make_unique<Mailbox>();
+}
+
+void Context::barrier_wait() {
+  std::unique_lock lock(barrier_mutex_);
+  const std::uint64_t gen = barrier_generation_;
+  if (++barrier_count_ == size_) {
+    barrier_count_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] { return barrier_generation_ != gen; });
+  }
+}
+
+void Context::send_bytes(int dest, int source, int tag, const void* data,
+                         std::size_t bytes) {
+  RAHOOI_REQUIRE(dest >= 0 && dest < size_, "send: bad destination rank");
+  Message msg;
+  msg.source = source;
+  msg.tag = tag;
+  msg.payload.resize(bytes);
+  std::memcpy(msg.payload.data(), data, bytes);
+
+  Mailbox& mb = *mailboxes_[dest];
+  {
+    std::lock_guard lock(mb.mutex);
+    mb.queue.push_back(std::move(msg));
+  }
+  mb.cv.notify_all();
+}
+
+void Context::recv_bytes(int self, int source, int tag, void* data,
+                         std::size_t bytes) {
+  RAHOOI_REQUIRE(source >= 0 && source < size_, "recv: bad source rank");
+  Mailbox& mb = *mailboxes_[self];
+  std::unique_lock lock(mb.mutex);
+  for (;;) {
+    const auto it = std::find_if(
+        mb.queue.begin(), mb.queue.end(), [&](const Message& m) {
+          return m.source == source && m.tag == tag;
+        });
+    if (it != mb.queue.end()) {
+      RAHOOI_REQUIRE(it->payload.size() == bytes,
+                     "recv: message size does not match receive buffer");
+      std::memcpy(data, it->payload.data(), bytes);
+      mb.queue.erase(it);
+      return;
+    }
+    mb.cv.wait(lock);
+  }
+}
+
+void Context::deposit_child(int leader_rank, std::shared_ptr<Context> child) {
+  children_[leader_rank] = std::move(child);
+}
+
+std::shared_ptr<Context> Context::collect_child(int leader_rank) const {
+  return children_[leader_rank];
+}
+
+}  // namespace rahooi::comm

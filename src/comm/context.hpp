@@ -1,0 +1,82 @@
+#pragma once
+// Shared state backing one communicator of the thread-based message-passing
+// runtime (the environment's substitute for MPI; see DESIGN.md §1).
+//
+// A Context is shared by the P rank-threads of one communicator. Collectives
+// are built from a generation barrier plus a pointer-exchange slot array:
+// each rank posts pointers to its buffers, a barrier publishes them, every
+// rank reads what it needs, and a second barrier retires the slots. The
+// mutex/condition-variable barrier establishes the happens-before edges that
+// make the cross-thread buffer reads race-free.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace rahooi::comm {
+
+/// Pointers one rank publishes for the duration of a collective.
+struct SlotEntry {
+  const void* in = nullptr;
+  void* out = nullptr;
+  const std::int64_t* meta = nullptr;
+  std::int64_t value = 0;
+};
+
+/// A tagged point-to-point message (payload copied on send, CP.31).
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+class Context {
+ public:
+  explicit Context(int size);
+
+  int size() const { return size_; }
+
+  /// Blocks until all `size()` ranks arrive (sense via generation counter).
+  void barrier_wait();
+
+  /// Publish this rank's pointers for the in-flight collective. Only valid
+  /// between barriers; the slot array is reused across collectives.
+  void post(int rank, SlotEntry entry) { slots_[rank] = entry; }
+
+  const SlotEntry& slot(int rank) const { return slots_[rank]; }
+
+  /// Blocking tagged send/recv through per-rank mailboxes.
+  void send_bytes(int dest, int source, int tag, const void* data,
+                  std::size_t bytes);
+  void recv_bytes(int self, int source, int tag, void* data,
+                  std::size_t bytes);
+
+  /// Split support: the group leader (smallest parent rank in the new
+  /// group) deposits the child context at its own index; members collect it.
+  void deposit_child(int leader_rank, std::shared_ptr<Context> child);
+  std::shared_ptr<Context> collect_child(int leader_rank) const;
+
+ private:
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  int size_;
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  std::vector<SlotEntry> slots_;
+  std::vector<std::shared_ptr<Context>> children_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+}  // namespace rahooi::comm

@@ -1,0 +1,40 @@
+#include "comm/runtime.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace rahooi::comm {
+
+void Runtime::run(int p, const std::function<void(Comm&)>& fn,
+                  std::vector<Stats>* rank_stats) {
+  RAHOOI_REQUIRE(p >= 1, "need at least one rank");
+  auto ctx = std::make_shared<Context>(p);
+
+  std::vector<Stats> stats_store(p);
+  std::vector<std::exception_ptr> errors(p);
+  std::vector<std::thread> threads;
+  threads.reserve(p);
+
+  for (int r = 0; r < p; ++r) {
+    threads.emplace_back([&, r] {
+      ScopedStats tracked(stats_store[r]);
+      Comm world(ctx, r);
+      try {
+        fn(world);
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  if (rank_stats != nullptr) *rank_stats = std::move(stats_store);
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+}  // namespace rahooi::comm

@@ -1,0 +1,22 @@
+#pragma once
+// Entry point of the thread-based message-passing runtime: spawns P rank
+// threads, each receiving a world communicator, and joins them — the
+// equivalent of mpirun for this library's simulated distributed runs.
+
+#include <functional>
+
+#include "comm/comm.hpp"
+
+namespace rahooi::comm {
+
+class Runtime {
+ public:
+  /// Runs `fn(world)` on `p` rank-threads and joins them all. If any rank
+  /// throws, the first exception (by rank order) is rethrown after every
+  /// thread has been joined. Each rank thread gets its own Stats object
+  /// installed; `rank_stats` (if non-null) receives the per-rank records.
+  static void run(int p, const std::function<void(Comm&)>& fn,
+                  std::vector<Stats>* rank_stats = nullptr);
+};
+
+}  // namespace rahooi::comm

@@ -1,0 +1,55 @@
+#pragma once
+// Error handling and precondition checking for the rahooi library.
+//
+// Following the C++ Core Guidelines (I.6/I.8, E.*), preconditions on public
+// API boundaries are always checked and report failures by throwing, so that
+// misuse is diagnosed identically in Debug and Release builds. Hot inner
+// loops use RAHOOI_DEBUG_ASSERT, which compiles away under NDEBUG.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rahooi {
+
+/// Exception thrown when a public-API precondition is violated.
+class precondition_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Exception thrown when an algorithm fails at runtime (e.g. an eigensolver
+/// fails to converge) rather than because of caller error.
+class numerical_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_precondition(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": precondition failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw precondition_error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace rahooi
+
+/// Always-on precondition check for public API boundaries.
+#define RAHOOI_REQUIRE(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::rahooi::detail::fail_precondition(#expr, __FILE__, __LINE__, msg); \
+    }                                                                      \
+  } while (0)
+
+/// Debug-only internal invariant check; disappears under NDEBUG.
+#ifdef NDEBUG
+#define RAHOOI_DEBUG_ASSERT(expr) ((void)0)
+#else
+#define RAHOOI_DEBUG_ASSERT(expr) RAHOOI_REQUIRE(expr, "internal invariant")
+#endif

@@ -1,0 +1,79 @@
+#include "common/csv.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace rahooi {
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  RAHOOI_REQUIRE(!header_.empty(), "CSV table needs at least one column");
+}
+
+void CsvTable::begin_row() { rows_.emplace_back(); }
+
+void CsvTable::add(const std::string& value) {
+  RAHOOI_REQUIRE(!rows_.empty(), "begin_row() before add()");
+  RAHOOI_REQUIRE(rows_.back().size() < header_.size(),
+                 "more values than columns");
+  rows_.back().push_back(value);
+}
+
+void CsvTable::add(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  add(std::string(buf));
+}
+
+void CsvTable::add(long long value) { add(std::to_string(value)); }
+
+std::string CsvTable::to_string() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c ? "," : "") << header_[c];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "," : "") << row[c];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string CsvTable::to_pretty() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& v = c < row.size() ? row[c] : std::string();
+      os << (c ? "  " : "") << v << std::string(width[c] - v.size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void CsvTable::write(const std::string& path) const {
+  std::ofstream out(path);
+  RAHOOI_REQUIRE(out.good(), "cannot open CSV output file: " + path);
+  out << to_string();
+  RAHOOI_REQUIRE(out.good(), "failed writing CSV output file: " + path);
+}
+
+}  // namespace rahooi

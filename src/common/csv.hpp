@@ -1,0 +1,40 @@
+#pragma once
+// Minimal CSV table builder: benches print the same rows the paper's
+// figures/tables report and also persist them for post-processing.
+
+#include <string>
+#include <vector>
+
+namespace rahooi {
+
+class CsvTable {
+ public:
+  explicit CsvTable(std::vector<std::string> header);
+
+  /// Starts a new row; values are appended with add().
+  void begin_row();
+
+  void add(const std::string& value);
+  void add(double value);
+  void add(long long value);
+  void add(long value) { add(static_cast<long long>(value)); }
+  void add(int value) { add(static_cast<long long>(value)); }
+  void add(unsigned long value) { add(static_cast<long long>(value)); }
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render as CSV text (header + rows).
+  std::string to_string() const;
+
+  /// Render as an aligned table for terminal output.
+  std::string to_pretty() const;
+
+  /// Write CSV to `path`; throws on IO failure.
+  void write(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rahooi

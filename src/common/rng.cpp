@@ -1,0 +1,20 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace rahooi {
+
+double CounterRng::normal(std::uint64_t i) const noexcept {
+  // Box–Muller: derive two independent uniforms from disjoint counters so
+  // that normal(i) never aliases normal(j) for i != j.
+  const std::uint64_t lo = 2 * i;
+  double u1 = uniform(lo);
+  const double u2 = uniform(lo + 1);
+  // Guard against log(0); the smallest non-zero uniform is 2^-53.
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace rahooi

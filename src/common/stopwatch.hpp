@@ -1,0 +1,21 @@
+#pragma once
+// Lightweight wall-clock stopwatch used by benchmarks and drivers.
+
+#include "common/stats.hpp"
+
+namespace rahooi {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(stats::now()) {}
+
+  /// Seconds since construction or the last reset.
+  double elapsed() const { return stats::now() - start_; }
+
+  void reset() { start_ = stats::now(); }
+
+ private:
+  double start_;
+};
+
+}  // namespace rahooi

@@ -1,0 +1,99 @@
+#include "core/core_analysis.hpp"
+
+#include "common/stats.hpp"
+
+namespace rahooi::core {
+
+template <typename T>
+tensor::Tensor<double> squared_prefix_sums(const tensor::Tensor<T>& core) {
+  const int d = core.ndims();
+  tensor::Tensor<double> prefix(core.dims());
+  for (idx_t i = 0; i < core.size(); ++i) {
+    prefix[i] = static_cast<double>(core[i]) * core[i];
+  }
+  // In-place running sum along each mode in turn: after processing mode j,
+  // prefix holds sums over all k_i <= i_i for i <= j.
+  for (int j = 0; j < d; ++j) {
+    const idx_t left = prefix.left_size(j);
+    const idx_t n = prefix.dim(j);
+    const idx_t right = prefix.right_size(j);
+    for (idx_t s = 0; s < right; ++s) {
+      auto sl = prefix.slab(j, s);
+      for (idx_t a = 1; a < n; ++a) {
+        double* cur = sl.col(a);
+        const double* prev = sl.col(a - 1);
+        for (idx_t l = 0; l < left; ++l) cur[l] += prev[l];
+      }
+    }
+  }
+  stats::add_flops(static_cast<double>(d) * core.size());
+  return prefix;
+}
+
+template <typename T>
+CoreAnalysis analyze_core(const tensor::Tensor<T>& core,
+                          const std::vector<idx_t>& full_dims,
+                          double target_sq) {
+  const int d = core.ndims();
+  RAHOOI_REQUIRE(static_cast<int>(full_dims.size()) == d,
+                 "analyze_core: one full dimension per mode required");
+  for (int j = 0; j < d; ++j) {
+    RAHOOI_REQUIRE(full_dims[j] >= core.dim(j),
+                   "analyze_core: full dims must dominate core dims");
+  }
+
+  const tensor::Tensor<double> prefix = squared_prefix_sums(core);
+
+  CoreAnalysis best;
+  best.ranks = core.dims();
+  best.kept_norm_sq = prefix.size() > 0 ? prefix[prefix.size() - 1] : 0.0;
+  best.compressed_size = 0;  // filled below
+
+  auto size_of = [&](const std::vector<idx_t>& r) {
+    idx_t sz = 1;
+    for (int j = 0; j < d; ++j) sz *= r[j];
+    for (int j = 0; j < d; ++j) sz += full_dims[j] * r[j];
+    return sz;
+  };
+  best.compressed_size = size_of(best.ranks);
+
+  // Exhaustive enumeration of leading subtensors (odometer over the rank
+  // tuple); prefix(r - 1) gives ||G(1:r)||^2 in O(1).
+  std::vector<idx_t> idx(d, 0);  // idx = r - 1
+  std::vector<idx_t> r(d, 1);
+  for (idx_t lin = 0; lin < prefix.size(); ++lin) {
+    if (prefix[lin] >= target_sq) {
+      const idx_t sz = size_of(r);
+      if (!best.feasible || sz < best.compressed_size) {
+        best.feasible = true;
+        best.compressed_size = sz;
+        best.ranks = r;
+        best.kept_norm_sq = prefix[lin];
+      }
+    }
+    for (int j = 0; j < d; ++j) {
+      if (++idx[j] < prefix.dim(j)) {
+        r[j] = idx[j] + 1;
+        break;
+      }
+      idx[j] = 0;
+      r[j] = 1;
+    }
+  }
+  stats::add_flops((d + 2.0) * static_cast<double>(prefix.size()));
+  return best;
+}
+
+#define RAHOOI_INSTANTIATE_CORE_ANALYSIS(T)                            \
+  template tensor::Tensor<double> squared_prefix_sums<T>(              \
+      const tensor::Tensor<T>&);                                       \
+  template CoreAnalysis analyze_core<T>(const tensor::Tensor<T>&,      \
+                                        const std::vector<idx_t>&,     \
+                                        double);
+
+RAHOOI_INSTANTIATE_CORE_ANALYSIS(float)
+RAHOOI_INSTANTIATE_CORE_ANALYSIS(double)
+
+#undef RAHOOI_INSTANTIATE_CORE_ANALYSIS
+
+}  // namespace rahooi::core

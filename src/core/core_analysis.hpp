@@ -1,0 +1,44 @@
+#pragma once
+// Rank-adaptive core analysis (paper §3.2, eq. (3)): given the (gathered)
+// core tensor of a Tucker approximation whose error already satisfies the
+// threshold, find the leading sub-core that minimizes the Tucker storage
+// size prod r_j + sum n_j r_j while keeping
+// ||G(1:r)||^2 >= (1 - eps^2) ||X||^2.
+//
+// Solved exactly over all leading subtensors with a d-dimensional prefix
+// sum over squared core entries (O(d r^d) work) followed by exhaustive
+// enumeration — the paper's approach, run sequentially (replicated on all
+// ranks, which is equivalent to the paper's gather-to-one-rank since the
+// core is small).
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace rahooi::core {
+
+using la::idx_t;
+
+struct CoreAnalysis {
+  std::vector<idx_t> ranks;  ///< optimal leading-subtensor dimensions
+  double kept_norm_sq = 0.0; ///< ||G(1:ranks)||^2
+  idx_t compressed_size = 0; ///< prod r_j + sum n_j r_j at those ranks
+  bool feasible = false;     ///< whether any leading subtensor met target
+};
+
+/// `full_dims` are the original tensor dimensions n_j (the factor-matrix
+/// storage term of the objective); `target_sq` is (1 - eps^2) ||X||^2. When
+/// infeasible (||G||^2 < target_sq), returns the full core dimensions with
+/// feasible = false.
+template <typename T>
+CoreAnalysis analyze_core(const tensor::Tensor<T>& core,
+                          const std::vector<idx_t>& full_dims,
+                          double target_sq);
+
+/// The d-dimensional inclusive prefix-sum table of squared core entries:
+/// out(i_1..i_d) = sum of core(k_1..k_d)^2 over k_j <= i_j. Exposed for
+/// testing and for incremental analyses.
+template <typename T>
+tensor::Tensor<double> squared_prefix_sums(const tensor::Tensor<T>& core);
+
+}  // namespace rahooi::core

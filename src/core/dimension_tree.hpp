@@ -1,0 +1,50 @@
+#pragma once
+// Dimension-tree memoization of HOOI's multi-TTMs (paper §3.3, Fig. 1,
+// Alg. 4).
+//
+// A HOOI sweep needs, for each mode j, the multi-TTM of X in all modes but
+// j. Computed directly that costs d full multi-TTMs; the binary dimension
+// tree shares the common prefixes: each internal node multiplies half of
+// its remaining modes into a memoized intermediate and recurses, for a
+// leading-order TTM cost of 4 r n^d / P instead of 2 d r n^d / P.
+//
+// Mode ordering within a sweep: leaves are visited in ascending mode order
+// (matching Alg. 2's subiteration order), so the core is produced at the
+// last leaf (mode d) by one final TTM. TTMs on the "eta" half are applied
+// in descending mode order because the last-mode TTM maps to a single large
+// GEMM in this layout (paper §3.3's left-branch reverse-order observation).
+
+#include <string>
+#include <vector>
+
+namespace rahooi::core {
+
+/// Explicit tree structure (for inspection, Fig. 1 reproduction, and cost
+/// accounting tests). Node 0 is the root.
+struct DimensionTreeNode {
+  std::vector<int> modes;       ///< modes NOT yet multiplied at this node
+  std::vector<int> ttm_modes;   ///< TTMs applied on the edge into this node
+  int left_child = -1;          ///< visited first (lower modes)
+  int right_child = -1;
+  bool is_leaf() const { return left_child < 0; }
+};
+
+struct DimensionTree {
+  std::vector<DimensionTreeNode> nodes;
+
+  /// Number of TTMs a sweep over this tree performs (Fig. 1: one per notch).
+  int ttm_count() const;
+
+  /// Leaf modes in visit order (must be 0, 1, ..., d-1).
+  std::vector<int> leaf_order() const;
+
+  /// Renders the tree as an indented mode-set listing (Fig. 1 style).
+  std::string to_string() const;
+};
+
+/// Builds the binary dimension tree over modes {0, ..., d-1} with halving
+/// splits (the paper's heuristic; Kaya & Robert's optimal trees are cited
+/// as related work but not used).
+DimensionTree build_dimension_tree(int d);
+
+}  // namespace rahooi::core

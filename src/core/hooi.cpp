@@ -1,0 +1,231 @@
+#include "core/hooi.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/dimension_tree.hpp"
+
+namespace rahooi::core {
+
+template <typename T>
+std::vector<la::Matrix<T>> random_factors(const std::vector<idx_t>& dims,
+                                          const std::vector<idx_t>& ranks,
+                                          std::uint64_t seed) {
+  RAHOOI_REQUIRE(dims.size() == ranks.size(),
+                 "random_factors: dims/ranks size mismatch");
+  CounterRng rng(seed);
+  std::vector<la::Matrix<T>> factors;
+  factors.reserve(dims.size());
+  for (std::size_t j = 0; j < dims.size(); ++j) {
+    RAHOOI_REQUIRE(ranks[j] >= 1 && ranks[j] <= dims[j],
+                   "random_factors: ranks must be in [1, n_j]");
+    const CounterRng stream = rng.stream(j);
+    la::Matrix<T> u(dims[j], ranks[j]);
+    for (idx_t i = 0; i < u.size(); ++i) {
+      u.data()[i] = static_cast<T>(stream.normal(i));
+    }
+    factors.push_back(la::orthonormalize<T>(u.cref()));
+  }
+  return factors;
+}
+
+namespace {
+
+// Updates factors[mode] from `y`, the all-but-one multi-TTM result.
+// `sweep_index` seeds the fresh sketches of the randomized method so they
+// differ between sweeps but are identical on every rank.
+template <typename T>
+void leaf_update(const dist::DistTensor<T>& y, int mode,
+                 std::vector<la::Matrix<T>>& factors,
+                 const std::vector<idx_t>& ranks, const HooiOptions& options,
+                 int sweep_index) {
+  switch (options.svd_method) {
+    case SvdMethod::subspace_iteration:
+      RAHOOI_REQUIRE(factors[mode].cols() == ranks[mode],
+                     "subspace iteration needs a starting factor of the "
+                     "requested rank");
+      factors[mode] = llsv_subspace_iteration(y, mode, factors[mode],
+                                               options.subspace_steps);
+      break;
+    case SvdMethod::randomized: {
+      // Cold start: one-power-iteration randomized range finder.
+      const CounterRng rng = CounterRng(options.seed)
+                                 .stream(0x5EED0000ull + sweep_index)
+                                 .stream(mode);
+      la::Matrix<T> sketch(y.global_dim(mode), ranks[mode]);
+      for (idx_t i = 0; i < sketch.size(); ++i) {
+        sketch.data()[i] = static_cast<T>(rng.normal(i));
+      }
+      factors[mode] = llsv_subspace_iteration(
+          y, mode, la::orthonormalize<T>(sketch.cref()),
+          options.subspace_steps);
+      break;
+    }
+    case SvdMethod::gram_evd:
+      factors[mode] = llsv_gram(y, mode, ranks[mode]).u;
+      break;
+  }
+}
+
+// Direct sweep (Alg. 2): one fresh multi-TTM from X per subiteration.
+template <typename T>
+dist::DistTensor<T> sweep_direct(const dist::DistTensor<T>& x,
+                                 std::vector<la::Matrix<T>>& factors,
+                                 const std::vector<idx_t>& ranks,
+                                 const HooiOptions& options,
+                                 int sweep_index) {
+  const int d = x.ndims();
+  dist::DistTensor<T> core;
+  for (int j = 0; j < d; ++j) {
+    dist::DistTensor<T> y;
+    {
+      PhaseTimer t(Phase::ttm);
+      const dist::DistTensor<T>* src = &x;
+      for (int i = 0; i < d; ++i) {
+        if (i == j) continue;
+        y = dist::dist_ttm(*src, i, factors[i].cref());
+        src = &y;
+      }
+    }
+    leaf_update(y, j, factors, ranks, options, sweep_index);
+    if (j == d - 1) {
+      PhaseTimer t(Phase::ttm);
+      core = dist::dist_ttm(y, j, factors[j].cref());
+    }
+  }
+  return core;
+}
+
+// Dimension-tree sweep (Alg. 4). `modes` lists the modes not yet
+// multiplied into `node`; leaves are reached in ascending mode order so the
+// core falls out of the last leaf.
+template <typename T>
+void sweep_tree_recurse(const dist::DistTensor<T>& node,
+                        const std::vector<int>& modes,
+                        std::vector<la::Matrix<T>>& factors,
+                        const std::vector<idx_t>& ranks,
+                        const HooiOptions& options, int sweep_index,
+                        int d, dist::DistTensor<T>& core) {
+  if (modes.size() == 1) {
+    const int m = modes[0];
+    leaf_update(node, m, factors, ranks, options, sweep_index);
+    if (m == d - 1) {
+      PhaseTimer t(Phase::ttm);
+      core = dist::dist_ttm(node, m, factors[m].cref());
+    }
+    return;
+  }
+  const std::size_t half = modes.size() / 2;
+  const std::vector<int> mu(modes.begin(), modes.begin() + half);
+  const std::vector<int> eta(modes.begin() + half, modes.end());
+
+  // Multiply the eta modes (descending: the last-mode TTM is a single large
+  // GEMM in this layout, §3.3) and recurse into the mu leaves.
+  {
+    dist::DistTensor<T> a;
+    {
+      PhaseTimer t(Phase::ttm);
+      const dist::DistTensor<T>* src = &node;
+      for (auto it = eta.rbegin(); it != eta.rend(); ++it) {
+        a = dist::dist_ttm(*src, *it, factors[*it].cref());
+        src = &a;
+      }
+    }
+    sweep_tree_recurse(a, mu, factors, ranks, options, sweep_index, d, core);
+  }
+  // Multiply the mu modes with their freshly-updated factors and recurse
+  // into the eta leaves.
+  {
+    dist::DistTensor<T> b;
+    {
+      PhaseTimer t(Phase::ttm);
+      const dist::DistTensor<T>* src = &node;
+      for (const int i : mu) {
+        b = dist::dist_ttm(*src, i, factors[i].cref());
+        src = &b;
+      }
+    }
+    sweep_tree_recurse(b, eta, factors, ranks, options, sweep_index, d, core);
+  }
+}
+
+template <typename T>
+dist::DistTensor<T> sweep_tree(const dist::DistTensor<T>& x,
+                               std::vector<la::Matrix<T>>& factors,
+                               const std::vector<idx_t>& ranks,
+                               const HooiOptions& options,
+                               int sweep_index) {
+  const int d = x.ndims();
+  std::vector<int> all(d);
+  for (int j = 0; j < d; ++j) all[j] = j;
+  dist::DistTensor<T> core;
+  sweep_tree_recurse(x, all, factors, ranks, options, sweep_index, d, core);
+  return core;
+}
+
+}  // namespace
+
+template <typename T>
+dist::DistTensor<T> hooi_sweep(const dist::DistTensor<T>& x,
+                               std::vector<la::Matrix<T>>& factors,
+                               const std::vector<idx_t>& ranks,
+                               const HooiOptions& options, int sweep_index) {
+  RAHOOI_REQUIRE(static_cast<int>(factors.size()) == x.ndims(),
+                 "hooi_sweep: one factor per mode required");
+  RAHOOI_REQUIRE(static_cast<int>(ranks.size()) == x.ndims(),
+                 "hooi_sweep: one rank per mode required");
+  if (x.ndims() == 1) {
+    // Degenerate single-mode case: HOOI reduces to one LLSV of X itself.
+    leaf_update(x, 0, factors, ranks, options, sweep_index);
+    PhaseTimer t(Phase::ttm);
+    return dist::dist_ttm(x, 0, factors[0].cref());
+  }
+  return options.use_dimension_tree
+             ? sweep_tree(x, factors, ranks, options, sweep_index)
+             : sweep_direct(x, factors, ranks, options, sweep_index);
+}
+
+template <typename T>
+HooiResult<T> hooi(const dist::DistTensor<T>& x,
+                   const std::vector<idx_t>& ranks,
+                   const HooiOptions& options) {
+  RAHOOI_REQUIRE(options.max_iters >= 1, "hooi: need at least one sweep");
+  HooiResult<T> out;
+  out.decomposition.x_norm_sq = x.norm_squared();
+  out.decomposition.factors =
+      random_factors<T>(x.global_dims(), ranks, options.seed);
+
+  double prev_error = 1.0;
+  for (int iter = 0; iter < options.max_iters; ++iter) {
+    out.decomposition.core =
+        hooi_sweep(x, out.decomposition.factors, ranks, options, iter);
+    out.decomposition.core_norm_sq = out.decomposition.core.norm_squared();
+    ++out.iterations;
+    const double err = out.decomposition.relative_error();
+    out.error_history.push_back(err);
+    if (options.convergence_tol > 0.0 &&
+        prev_error - err < options.convergence_tol) {
+      break;
+    }
+    prev_error = err;
+  }
+  return out;
+}
+
+#define RAHOOI_INSTANTIATE_HOOI(T)                                        \
+  template std::vector<la::Matrix<T>> random_factors<T>(                  \
+      const std::vector<idx_t>&, const std::vector<idx_t>&,               \
+      std::uint64_t);                                                     \
+  template dist::DistTensor<T> hooi_sweep<T>(                             \
+      const dist::DistTensor<T>&, std::vector<la::Matrix<T>>&,            \
+      const std::vector<idx_t>&, const HooiOptions&, int);                \
+  template HooiResult<T> hooi<T>(const dist::DistTensor<T>&,              \
+                                 const std::vector<idx_t>&,               \
+                                 const HooiOptions&);
+
+RAHOOI_INSTANTIATE_HOOI(float)
+RAHOOI_INSTANTIATE_HOOI(double)
+
+#undef RAHOOI_INSTANTIATE_HOOI
+
+}  // namespace rahooi::core

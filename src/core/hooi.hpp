@@ -1,0 +1,52 @@
+#pragma once
+// Higher Order Orthogonal Iteration (paper Alg. 2) and its optimized
+// variants: dimension-tree memoized sweeps (Alg. 4) and subspace-iteration
+// LLSV (Alg. 5), in the four combinations evaluated in the paper
+// (HOOI / HOOI-DT / HOSI / HOSI-DT; see core/options.hpp).
+
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/sthosvd.hpp"
+
+namespace rahooi::core {
+
+template <typename T>
+struct HooiResult {
+  TuckerResult<T> decomposition;
+  int iterations = 0;
+  /// Relative error after each sweep (via the core-norm identity).
+  std::vector<double> error_history;
+};
+
+/// Random orthonormal factor matrices (dims[j] x ranks[j]), generated
+/// identically on every rank from the seed (replicated, as TuckerMPI keeps
+/// factors).
+template <typename T>
+std::vector<la::Matrix<T>> random_factors(const std::vector<idx_t>& dims,
+                                          const std::vector<idx_t>& ranks,
+                                          std::uint64_t seed);
+
+/// One full HOOI iteration (all d subiterations): updates `factors` in
+/// place and returns the core G = Y x_d U_d^T computed at the last
+/// subiteration. Dispatches on options to the direct (Alg. 2) or
+/// dimension-tree (Alg. 4) sweep and to Gram+EVD or subspace-iteration
+/// LLSV. For subspace iteration, `factors` must already have ranks[j]
+/// orthonormal columns (they are the iteration's starting subspace).
+/// `sweep_index` distinguishes sweeps for the randomized method's fresh
+/// sketches (any value is fine for the other methods).
+template <typename T>
+dist::DistTensor<T> hooi_sweep(const dist::DistTensor<T>& x,
+                               std::vector<la::Matrix<T>>& factors,
+                               const std::vector<idx_t>& ranks,
+                               const HooiOptions& options,
+                               int sweep_index = 0);
+
+/// Rank-specified HOOI (Alg. 2): random initialization, `options.max_iters`
+/// sweeps (optionally fewer if convergence_tol is met).
+template <typename T>
+HooiResult<T> hooi(const dist::DistTensor<T>& x,
+                   const std::vector<idx_t>& ranks,
+                   const HooiOptions& options = {});
+
+}  // namespace rahooi::core

@@ -1,0 +1,85 @@
+#pragma once
+// Algorithm options mirroring the paper artifact's parameter file:
+//   "SVD Method"                  -> SvdMethod (0 = Gram+EVD, 2 = subspace)
+//   "Dimension Tree Memoization"  -> use_dimension_tree
+//   "HOOI-Adapt Threshold"        -> adapt_tolerance (eps; 0 disables)
+//   "HOOI max iters"              -> max_iters
+// The four HOOI variants of the paper (§4, artifact table):
+//   HOOI     = {gram_evd, no tree},   HOOI-DT = {gram_evd, tree},
+//   HOSI     = {subspace, no tree},   HOSI-DT = {subspace, tree}.
+
+#include <cstdint>
+#include <string>
+
+namespace rahooi::core {
+
+enum class SvdMethod : int {
+  gram_evd = 0,           ///< Gram matrix + sequential EVD (TuckerMPI default)
+  /// Randomized range finder with one power iteration: the subspace
+  /// iteration of §3.4 started from a *fresh random* subspace instead of
+  /// the previous factor. The paper (§2.3) observes that HOOI with random
+  /// initialization is a form of TuckerMPI's structured random sketches;
+  /// this method makes the connection executable and lets benches ablate
+  /// warm vs cold starts (warm is what makes one iteration suffice, §3.4).
+  randomized = 1,
+  subspace_iteration = 2, ///< single subspace iteration + QRCP (paper §3.4)
+};
+
+struct HooiOptions {
+  SvdMethod svd_method = SvdMethod::gram_evd;
+  bool use_dimension_tree = false;  ///< multi-TTM memoization (paper §3.3)
+  int max_iters = 2;                ///< paper runs 2 for rank-specified tests
+  /// Subspace-iteration steps per LLSV (§3.4: "in principle, the
+  /// computations could be repeated to improve accuracy"). The paper uses 1
+  /// because the warm start makes one step sufficient; larger values trade
+  /// extra TTM+contraction cost for per-subiteration accuracy.
+  int subspace_steps = 1;
+  /// Stop early when the relative error improves by less than this between
+  /// sweeps (0 disables early stopping; the paper uses a fixed iteration
+  /// count).
+  double convergence_tol = 0.0;
+  std::uint64_t seed = 1;           ///< random factor initialization seed
+};
+
+/// How ranks evolve when the error threshold is not yet met.
+enum class AdaptStrategy {
+  /// Alg. 3 line 9: every rank grows by the factor alpha (the paper's
+  /// method).
+  global_growth,
+  /// Mode-wise expansion *and* contraction in the spirit of Xiao & Yang's
+  /// RA-HOOI (cited in §2.3): each iteration the per-mode slice-energy
+  /// spectra of the core decide, mode by mode, whether that mode still
+  /// needs more rank (its trailing slice carries a non-negligible share of
+  /// the core energy) or can already shed slices (their energy is far
+  /// below the error budget). Useful when the true ranks are anisotropic.
+  modewise,
+};
+
+struct RankAdaptiveOptions {
+  HooiOptions hooi;            ///< sweep configuration (HOSI-DT by default)
+  double tolerance = 0.1;      ///< eps of eq. (2)
+  double growth_factor = 1.5;  ///< alpha of Alg. 3 (paper uses 1.5 or 2)
+  int max_iters = 3;           ///< the paper caps RA-HOSI-DT at 3 iterations
+  /// Keep iterating after the error threshold is first met (the paper's
+  /// plots show all 3 iterations; later sweeps can improve compression).
+  bool continue_after_satisfied = true;
+
+  AdaptStrategy strategy = AdaptStrategy::global_growth;
+  /// modewise: expand a mode while its last slice holds more than this
+  /// fraction of the average slice energy (spectrum not yet decayed).
+  double modewise_expand_fraction = 0.1;
+  /// modewise: contract trailing slices whose cumulative energy stays below
+  /// this fraction of the per-mode error budget eps^2 ||X||^2 / d.
+  double modewise_contract_fraction = 0.01;
+
+  RankAdaptiveOptions() {
+    hooi.svd_method = SvdMethod::subspace_iteration;
+    hooi.use_dimension_tree = true;
+  }
+};
+
+/// Variant label as used in the paper's figures ("STHOSVD", "HOOI",
+/// "HOOI-DT", "HOSI", "HOSI-DT").
+std::string variant_name(const HooiOptions& o);
+
+}  // namespace rahooi::core

@@ -1,0 +1,84 @@
+#include "core/serial_api.hpp"
+
+namespace rahooi::core {
+
+namespace {
+
+// One-rank world without spawning threads: all collectives degenerate to
+// local copies.
+template <typename T, typename Fn>
+SerialResult<T> with_serial_grid(const tensor::Tensor<T>& x, Fn&& fn) {
+  comm::Comm world(std::make_shared<comm::Context>(1), 0);
+  dist::ProcessorGrid grid(world, std::vector<int>(x.ndims(), 1));
+  tensor::Tensor<T> local = x;  // the single rank owns the whole tensor
+  dist::DistTensor<T> xd(grid, x.dims(), std::move(local));
+  return fn(xd);
+}
+
+template <typename T>
+SerialResult<T> from_tucker_result(const TuckerResult<T>& res) {
+  SerialResult<T> out;
+  out.tucker = res.replicated();
+  out.rel_error = res.relative_error();
+  out.compression_ratio = res.compression_ratio();
+  return out;
+}
+
+}  // namespace
+
+template <typename T>
+SerialResult<T> sthosvd_serial(const tensor::Tensor<T>& x, double eps) {
+  return with_serial_grid(x, [&](const dist::DistTensor<T>& xd) {
+    return from_tucker_result(sthosvd(xd, eps));
+  });
+}
+
+template <typename T>
+SerialResult<T> sthosvd_serial_fixed_rank(const tensor::Tensor<T>& x,
+                                          const std::vector<idx_t>& ranks) {
+  return with_serial_grid(x, [&](const dist::DistTensor<T>& xd) {
+    return from_tucker_result(sthosvd_fixed_rank(xd, ranks));
+  });
+}
+
+template <typename T>
+SerialResult<T> hooi_serial(const tensor::Tensor<T>& x,
+                            const std::vector<idx_t>& ranks,
+                            const HooiOptions& options) {
+  return with_serial_grid(x, [&](const dist::DistTensor<T>& xd) {
+    return from_tucker_result(hooi(xd, ranks, options).decomposition);
+  });
+}
+
+template <typename T>
+SerialResult<T> rank_adaptive_serial(const tensor::Tensor<T>& x,
+                                     const std::vector<idx_t>& initial_ranks,
+                                     const RankAdaptiveOptions& options) {
+  return with_serial_grid(x, [&](const dist::DistTensor<T>& xd) {
+    auto ra = rank_adaptive_hooi(xd, initial_ranks, options);
+    SerialResult<T> out;
+    out.tucker = std::move(ra.tucker);
+    out.rel_error = ra.rel_error;
+    out.compression_ratio = out.tucker.compression_ratio();
+    return out;
+  });
+}
+
+#define RAHOOI_INSTANTIATE_SERIAL(T)                                       \
+  template SerialResult<T> sthosvd_serial<T>(const tensor::Tensor<T>&,     \
+                                             double);                      \
+  template SerialResult<T> sthosvd_serial_fixed_rank<T>(                   \
+      const tensor::Tensor<T>&, const std::vector<idx_t>&);                \
+  template SerialResult<T> hooi_serial<T>(const tensor::Tensor<T>&,        \
+                                          const std::vector<idx_t>&,       \
+                                          const HooiOptions&);             \
+  template SerialResult<T> rank_adaptive_serial<T>(                        \
+      const tensor::Tensor<T>&, const std::vector<idx_t>&,                 \
+      const RankAdaptiveOptions&);
+
+RAHOOI_INSTANTIATE_SERIAL(float)
+RAHOOI_INSTANTIATE_SERIAL(double)
+
+#undef RAHOOI_INSTANTIATE_SERIAL
+
+}  // namespace rahooi::core

@@ -1,0 +1,44 @@
+#pragma once
+// Single-process convenience front-end.
+//
+// The distributed API (dist::DistTensor + ProcessorGrid + the algorithm
+// drivers) is what the paper's experiments use, but a downstream user who
+// just wants to compress an in-memory tensor should not have to spin up the
+// message-passing runtime. These wrappers run the identical code path on a
+// one-rank communicator and return a fully local result.
+
+#include "core/rank_adaptive.hpp"
+#include "core/sthosvd.hpp"
+#include "tensor/tucker_tensor.hpp"
+
+namespace rahooi::core {
+
+template <typename T>
+struct SerialResult {
+  tensor::TuckerTensor<T> tucker;
+  double rel_error = 0.0;
+  double compression_ratio = 0.0;
+};
+
+/// Error-specified STHOSVD (Alg. 1) on a local tensor.
+template <typename T>
+SerialResult<T> sthosvd_serial(const tensor::Tensor<T>& x, double eps);
+
+/// Rank-specified STHOSVD on a local tensor.
+template <typename T>
+SerialResult<T> sthosvd_serial_fixed_rank(const tensor::Tensor<T>& x,
+                                          const std::vector<idx_t>& ranks);
+
+/// Rank-specified HOOI (Alg. 2 and variants) on a local tensor.
+template <typename T>
+SerialResult<T> hooi_serial(const tensor::Tensor<T>& x,
+                            const std::vector<idx_t>& ranks,
+                            const HooiOptions& options = {});
+
+/// Rank-adaptive HOOI (Alg. 3, error-specified) on a local tensor.
+template <typename T>
+SerialResult<T> rank_adaptive_serial(const tensor::Tensor<T>& x,
+                                     const std::vector<idx_t>& initial_ranks,
+                                     const RankAdaptiveOptions& options);
+
+}  // namespace rahooi::core

@@ -1,0 +1,174 @@
+#include "data/science.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+
+namespace rahooi::data {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+// A superposition of low-wavenumber traveling waves with polynomially
+// decaying amplitudes — the "turbulent" component shared by all three
+// substitutes. Wave m has an integer frequency per continuous axis, a
+// per-variable coupling coefficient, and a temporal frequency.
+struct WavePack {
+  static constexpr int kModes = 14;
+  double amp[kModes];
+  double freq[kModes][3];   // up to 3 spatial axes
+  double omega[kModes];     // temporal frequency
+  double phase[kModes];
+  double var_coeff[kModes][64];  // per-variable coupling (nvar <= 64)
+
+  WavePack(const CounterRng& rng, int axes, idx_t nvar, double decay) {
+    idx_t c = 0;
+    for (int m = 0; m < kModes; ++m) {
+      amp[m] = std::pow(m + 1.0, -decay);
+      for (int a = 0; a < 3; ++a) {
+        freq[m][a] = a < axes
+                         ? std::floor(rng.uniform(c++) * 5.0) + 1.0
+                         : 0.0;
+      }
+      omega[m] = std::floor(rng.uniform(c++) * 3.0) + 1.0;
+      phase[m] = rng.uniform(c++) * kTwoPi;
+      for (idx_t v = 0; v < 64; ++v) {
+        var_coeff[m][v] = v < nvar ? rng.normal(c + v) : 0.0;
+      }
+      c += 64;
+    }
+  }
+
+  /// Wave sum at spatial position s[0..2], time t in [0,1), variable v.
+  double eval(const double* s, double t, idx_t v) const {
+    double acc = 0.0;
+    for (int m = 0; m < kModes; ++m) {
+      const double arg = kTwoPi * (freq[m][0] * s[0] + freq[m][1] * s[1] +
+                                   freq[m][2] * s[2] + omega[m] * t) +
+                         phase[m];
+      acc += amp[m] * var_coeff[m][v] * std::sin(arg);
+    }
+    return acc;
+  }
+};
+
+double unit(idx_t i, idx_t n) { return static_cast<double>(i) / n; }
+
+// Miranda-like: sharp but smooth mixing interface whose height is modulated
+// in (x, y), plus a turbulence spectrum. Matches the original's key trait:
+// the density field is dominated by a low-dimensional coherent structure.
+template <typename T>
+T miranda_entry(const std::vector<idx_t>& g, idx_t n,
+                const WavePack& waves) {
+  const double x = unit(g[0], n), y = unit(g[1], n), z = unit(g[2], n);
+  const double interface_z =
+      0.5 + 0.1 * std::sin(kTwoPi * x) * std::cos(kTwoPi * y);
+  const double front = std::tanh((z - interface_z) / 0.08);
+  const double s[3] = {x, y, z};
+  return static_cast<T>(1.5 + front + 0.15 * waves.eval(s, 0.0, 0));
+}
+
+// HCCI-like: an ignition front advancing in time, with per-variable
+// amplitude decay across the (small) variable mode.
+template <typename T>
+T hcci_entry(const std::vector<idx_t>& g, idx_t nx, idx_t ny, [[maybe_unused]] idx_t nvar,
+             idx_t nt, const WavePack& waves) {
+  const double x = unit(g[0], nx), y = unit(g[1], ny);
+  const idx_t v = g[2];
+  const double t = unit(g[3], nt);
+  const double w_v = std::exp(-0.35 * static_cast<double>(v));
+  const double front_pos = 0.3 + 0.4 * t + 0.05 * std::sin(kTwoPi * x);
+  const double front = std::tanh((y - front_pos) / 0.06);
+  const double s[3] = {x, y, 0.0};
+  return static_cast<T>(w_v * (1.0 + 0.8 * front) +
+                        0.2 * waves.eval(s, t, v % 64));
+}
+
+// SP-like: statistically-stationary planar flame in x with weak wrinkling
+// in (y, z) and per-variable couplings.
+template <typename T>
+T sp_entry(const std::vector<idx_t>& g, idx_t nx, idx_t ny, idx_t nz,
+           [[maybe_unused]] idx_t nvar, idx_t nt, const WavePack& waves) {
+  const double x = unit(g[0], nx), y = unit(g[1], ny), z = unit(g[2], nz);
+  const idx_t v = g[3];
+  const double t = unit(g[4], nt);
+  const double w_v = std::exp(-0.3 * static_cast<double>(v));
+  const double wrinkle =
+      0.04 * std::sin(kTwoPi * y) * std::sin(kTwoPi * z) +
+      0.02 * std::sin(kTwoPi * (2 * y + t));
+  const double front = std::tanh((x - 0.5 - wrinkle) / 0.05);
+  const double s[3] = {x, y, z};
+  return static_cast<T>(w_v * (1.0 + 0.7 * front) +
+                        0.15 * waves.eval(s, t, v % 64));
+}
+
+}  // namespace
+
+template <typename T>
+dist::DistTensor<T> miranda_like(const dist::ProcessorGrid& grid, idx_t n,
+                                 std::uint64_t seed) {
+  const WavePack waves(CounterRng(seed), 3, 1, 2.2);
+  return dist::DistTensor<T>::generate(
+      grid, {n, n, n}, [n, &waves](const std::vector<idx_t>& g) {
+        return miranda_entry<T>(g, n, waves);
+      });
+}
+
+template <typename T>
+tensor::Tensor<T> miranda_like_serial(idx_t n, std::uint64_t seed) {
+  const WavePack waves(CounterRng(seed), 3, 1, 2.2);
+  tensor::Tensor<T> x({n, n, n});
+  std::vector<idx_t> g(3, 0);
+  for (idx_t lin = 0; lin < x.size(); ++lin) {
+    x[lin] = miranda_entry<T>(g, n, waves);
+    for (int j = 0; j < 3; ++j) {
+      if (++g[j] < n) break;
+      g[j] = 0;
+    }
+  }
+  return x;
+}
+
+template <typename T>
+dist::DistTensor<T> hcci_like(const dist::ProcessorGrid& grid, idx_t nx,
+                              idx_t ny, idx_t nvar, idx_t nt,
+                              std::uint64_t seed) {
+  const WavePack waves(CounterRng(seed), 2, nvar, 1.8);
+  return dist::DistTensor<T>::generate(
+      grid, {nx, ny, nvar, nt},
+      [=, &waves](const std::vector<idx_t>& g) {
+        return hcci_entry<T>(g, nx, ny, nvar, nt, waves);
+      });
+}
+
+template <typename T>
+dist::DistTensor<T> sp_like(const dist::ProcessorGrid& grid, idx_t nx,
+                            idx_t ny, idx_t nz, idx_t nvar, idx_t nt,
+                            std::uint64_t seed) {
+  const WavePack waves(CounterRng(seed), 3, nvar, 1.9);
+  return dist::DistTensor<T>::generate(
+      grid, {nx, ny, nz, nvar, nt},
+      [=, &waves](const std::vector<idx_t>& g) {
+        return sp_entry<T>(g, nx, ny, nz, nvar, nt, waves);
+      });
+}
+
+#define RAHOOI_INSTANTIATE_SCIENCE(T)                                      \
+  template dist::DistTensor<T> miranda_like<T>(const dist::ProcessorGrid&, \
+                                               idx_t, std::uint64_t);      \
+  template tensor::Tensor<T> miranda_like_serial<T>(idx_t, std::uint64_t); \
+  template dist::DistTensor<T> hcci_like<T>(const dist::ProcessorGrid&,    \
+                                            idx_t, idx_t, idx_t, idx_t,    \
+                                            std::uint64_t);                \
+  template dist::DistTensor<T> sp_like<T>(const dist::ProcessorGrid&,      \
+                                          idx_t, idx_t, idx_t, idx_t,      \
+                                          idx_t, std::uint64_t);
+
+RAHOOI_INSTANTIATE_SCIENCE(float)
+RAHOOI_INSTANTIATE_SCIENCE(double)
+
+#undef RAHOOI_INSTANTIATE_SCIENCE
+
+}  // namespace rahooi::data

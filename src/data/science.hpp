@@ -1,0 +1,51 @@
+#pragma once
+// Simulation-dataset substitutes (see DESIGN.md §1). The paper evaluates
+// three scientific datasets that are not available in this environment:
+//
+//   Miranda  — 3-way 3072^3 fluid-flow density ratios (single precision),
+//   HCCI     — 4-way 672x672x33x626 combustion (space, space, variable,
+//              time; double precision),
+//   SP       — 5-way 500x500x500x11x400 planar flame (space^3, variable,
+//              time; double precision).
+//
+// What makes these datasets interesting for the paper is not their physics
+// but their spectra: smooth spatial/temporal fields with fast-decaying
+// mode-wise singular values, and a small "variable" mode whose energy
+// spreads over few components. These substitutes reproduce those traits
+// with closed-form multi-scale fields: a coherent structure (interface /
+// flame front) plus a superposition of traveling waves whose amplitudes
+// decay polynomially in the wavenumber. Each entry is a pure function of
+// its global index and a seed, so every rank generates its block with no
+// communication and the data is identical for every processor grid.
+
+#include <cstdint>
+
+#include "dist/dist_tensor.hpp"
+
+namespace rahooi::data {
+
+using la::idx_t;
+
+/// 3-way Miranda-like viscous-mixing density field (defaults scale the
+/// 3072^3 original down to n^3). Single precision in the paper.
+template <typename T>
+dist::DistTensor<T> miranda_like(const dist::ProcessorGrid& grid, idx_t n,
+                                 std::uint64_t seed = 7001);
+
+/// 4-way HCCI-like combustion field: (x, y, variable, time).
+template <typename T>
+dist::DistTensor<T> hcci_like(const dist::ProcessorGrid& grid, idx_t nx,
+                              idx_t ny, idx_t nvar, idx_t nt,
+                              std::uint64_t seed = 7002);
+
+/// 5-way SP-like planar-flame field: (x, y, z, variable, time).
+template <typename T>
+dist::DistTensor<T> sp_like(const dist::ProcessorGrid& grid, idx_t nx,
+                            idx_t ny, idx_t nz, idx_t nvar, idx_t nt,
+                            std::uint64_t seed = 7003);
+
+/// Serial references (identical entries), for tests.
+template <typename T>
+tensor::Tensor<T> miranda_like_serial(idx_t n, std::uint64_t seed = 7001);
+
+}  // namespace rahooi::data

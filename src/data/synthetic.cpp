@@ -1,0 +1,134 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "la/qr.hpp"
+#include "tensor/ttm.hpp"
+
+namespace rahooi::data {
+
+namespace {
+
+constexpr std::uint64_t kCoreStream = 0xC04Eull;
+constexpr std::uint64_t kFactorStream = 0xFAC7ull;
+constexpr std::uint64_t kNoiseStream = 0x401Eull;
+
+template <typename T>
+tensor::Tensor<T> make_core(const std::vector<idx_t>& ranks,
+                            std::uint64_t seed) {
+  const CounterRng rng = CounterRng(seed).stream(kCoreStream);
+  tensor::Tensor<T> core(ranks);
+  for (idx_t i = 0; i < core.size(); ++i) {
+    core[i] = static_cast<T>(rng.normal(i));
+  }
+  return core;
+}
+
+template <typename T>
+std::vector<la::Matrix<T>> make_factors(const std::vector<idx_t>& dims,
+                                        const std::vector<idx_t>& ranks,
+                                        std::uint64_t seed) {
+  std::vector<la::Matrix<T>> factors;
+  factors.reserve(dims.size());
+  for (std::size_t j = 0; j < dims.size(); ++j) {
+    const CounterRng rng = CounterRng(seed).stream(kFactorStream + j);
+    la::Matrix<T> u(dims[j], ranks[j]);
+    for (idx_t i = 0; i < u.size(); ++i) {
+      u.data()[i] = static_cast<T>(rng.normal(i));
+    }
+    factors.push_back(la::orthonormalize<T>(u.cref()));
+  }
+  return factors;
+}
+
+// Expands the core into the block selected by `offsets`/`lens` (the whole
+// tensor when offsets are zero and lens are the dims), then adds noise
+// addressed by global linear index so results are grid-independent.
+template <typename T>
+tensor::Tensor<T> build_block(const tensor::Tensor<T>& core,
+                              const std::vector<la::Matrix<T>>& factors,
+                              const std::vector<idx_t>& dims,
+                              const std::vector<idx_t>& offsets,
+                              const std::vector<idx_t>& lens, double noise,
+                              std::uint64_t seed) {
+  const int d = static_cast<int>(dims.size());
+  tensor::Tensor<T> block = core;
+  for (int j = 0; j < d; ++j) {
+    auto slice = factors[j].cref().block(offsets[j], 0, lens[j],
+                                         factors[j].cols());
+    block = tensor::ttm(block, j, slice, la::Op::none);
+  }
+  if (noise > 0.0) {
+    const CounterRng rng = CounterRng(seed).stream(kNoiseStream);
+    const double total = static_cast<double>(tensor::volume(dims));
+    const double scale = noise * core.norm() / std::sqrt(total);
+    std::vector<idx_t> idx(d, 0);
+    for (idx_t lin = 0; lin < block.size(); ++lin) {
+      idx_t glin = 0;  // global linear index of this block entry
+      idx_t stride = 1;
+      for (int j = 0; j < d; ++j) {
+        glin += (offsets[j] + idx[j]) * stride;
+        stride *= dims[j];
+      }
+      block[lin] += static_cast<T>(scale * rng.normal(glin));
+      for (int j = 0; j < d; ++j) {
+        if (++idx[j] < lens[j]) break;
+        idx[j] = 0;
+      }
+    }
+  }
+  return block;
+}
+
+}  // namespace
+
+template <typename T>
+dist::DistTensor<T> synthetic_tucker(const dist::ProcessorGrid& grid,
+                                     const std::vector<idx_t>& dims,
+                                     const std::vector<idx_t>& ranks,
+                                     double noise, std::uint64_t seed) {
+  RAHOOI_REQUIRE(dims.size() == ranks.size(),
+                 "synthetic_tucker: dims/ranks mismatch");
+  const tensor::Tensor<T> core = make_core<T>(ranks, seed);
+  const std::vector<la::Matrix<T>> factors =
+      make_factors<T>(dims, ranks, seed);
+
+  const int d = static_cast<int>(dims.size());
+  dist::DistTensor<T> x(grid, dims);
+  std::vector<idx_t> offsets(d), lens(d);
+  for (int j = 0; j < d; ++j) {
+    offsets[j] = x.local_offset(j);
+    lens[j] = x.local_dim(j);
+  }
+  x.local() = build_block(core, factors, dims, offsets, lens, noise, seed);
+  return x;
+}
+
+template <typename T>
+tensor::Tensor<T> synthetic_tucker_serial(const std::vector<idx_t>& dims,
+                                          const std::vector<idx_t>& ranks,
+                                          double noise, std::uint64_t seed) {
+  RAHOOI_REQUIRE(dims.size() == ranks.size(),
+                 "synthetic_tucker_serial: dims/ranks mismatch");
+  const tensor::Tensor<T> core = make_core<T>(ranks, seed);
+  const std::vector<la::Matrix<T>> factors =
+      make_factors<T>(dims, ranks, seed);
+  const std::vector<idx_t> offsets(dims.size(), 0);
+  return build_block(core, factors, dims, offsets, dims, noise, seed);
+}
+
+#define RAHOOI_INSTANTIATE_SYNTHETIC(T)                                \
+  template dist::DistTensor<T> synthetic_tucker<T>(                    \
+      const dist::ProcessorGrid&, const std::vector<idx_t>&,           \
+      const std::vector<idx_t>&, double, std::uint64_t);               \
+  template tensor::Tensor<T> synthetic_tucker_serial<T>(               \
+      const std::vector<idx_t>&, const std::vector<idx_t>&, double,    \
+      std::uint64_t);
+
+RAHOOI_INSTANTIATE_SYNTHETIC(float)
+RAHOOI_INSTANTIATE_SYNTHETIC(double)
+
+#undef RAHOOI_INSTANTIATE_SYNTHETIC
+
+}  // namespace rahooi::data

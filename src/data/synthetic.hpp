@@ -1,0 +1,37 @@
+#pragma once
+// Synthetic test tensors (paper §4.1): a Tucker-format tensor of specified
+// ranks with orthonormal random factors plus white Gaussian noise at a
+// specified relative level — the input of the strong-scaling experiments
+// and of the TuckerMPI drivers' "Construction Ranks"/"Noise" options.
+
+#include <cstdint>
+
+#include "dist/dist_tensor.hpp"
+#include "tensor/tucker_tensor.hpp"
+
+namespace rahooi::data {
+
+using la::idx_t;
+
+/// Distributed synthetic tensor X = G x_1 U_1 ... x_d U_d + noise, where G
+/// has i.i.d. standard normal entries, the U_j are random orthonormal, and
+/// the noise has norm approximately `noise` * ||low-rank part||.
+///
+/// Generation is communication-free and grid-independent: the core and
+/// factors are derived deterministically from `seed` (replicated), each
+/// rank forms its own block by multi-TTM with its factor row slices, and
+/// the noise is a counter-based function of the global linear index.
+template <typename T>
+dist::DistTensor<T> synthetic_tucker(const dist::ProcessorGrid& grid,
+                                     const std::vector<idx_t>& dims,
+                                     const std::vector<idx_t>& ranks,
+                                     double noise, std::uint64_t seed);
+
+/// Serial version of the same tensor (bit-identical to gathering the
+/// distributed one) for tests and small examples.
+template <typename T>
+tensor::Tensor<T> synthetic_tucker_serial(const std::vector<idx_t>& dims,
+                                          const std::vector<idx_t>& ranks,
+                                          double noise, std::uint64_t seed);
+
+}  // namespace rahooi::data

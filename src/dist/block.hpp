@@ -1,0 +1,38 @@
+#pragma once
+// Balanced block distribution of one tensor mode over one processor-grid
+// dimension (TuckerMPI's distribution): index range m is split into p
+// contiguous blocks whose sizes differ by at most one.
+
+#include "la/matrix.hpp"
+
+namespace rahooi::dist {
+
+using la::idx_t;
+
+/// Size of block `i` when `m` indices are split over `p` parts.
+inline idx_t block_size(idx_t m, int p, int i) {
+  RAHOOI_DEBUG_ASSERT(p >= 1 && i >= 0 && i < p);
+  const idx_t base = m / p;
+  const idx_t rem = m % p;
+  return base + (i < rem ? 1 : 0);
+}
+
+/// Starting global index of block `i`.
+inline idx_t block_offset(idx_t m, int p, int i) {
+  RAHOOI_DEBUG_ASSERT(p >= 1 && i >= 0 && i <= p);
+  const idx_t base = m / p;
+  const idx_t rem = m % p;
+  return base * i + std::min<idx_t>(i, rem);
+}
+
+/// Owner block of global index `g` under this distribution.
+inline int block_owner(idx_t m, int p, idx_t g) {
+  RAHOOI_DEBUG_ASSERT(g >= 0 && g < m);
+  const idx_t base = m / p;
+  const idx_t rem = m % p;
+  const idx_t cut = (base + 1) * rem;  // first index of the small blocks
+  if (g < cut) return static_cast<int>(g / (base + 1));
+  return static_cast<int>(rem + (g - cut) / base);
+}
+
+}  // namespace rahooi::dist

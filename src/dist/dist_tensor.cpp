@@ -1,0 +1,119 @@
+#include "dist/dist_tensor.hpp"
+
+#include <cmath>
+
+namespace rahooi::dist {
+
+template <typename T>
+std::vector<idx_t> DistTensor<T>::local_dims_for(
+    const ProcessorGrid& grid, const std::vector<idx_t>& global) const {
+  RAHOOI_REQUIRE(static_cast<int>(global.size()) == grid.ndims(),
+                 "tensor order must match processor grid order");
+  std::vector<idx_t> local(global.size());
+  for (int j = 0; j < grid.ndims(); ++j) {
+    local[j] = block_size(global[j], grid.dim(j), grid.coord(j));
+  }
+  return local;
+}
+
+template <typename T>
+DistTensor<T>::DistTensor(const ProcessorGrid& grid,
+                          std::vector<idx_t> global_dims)
+    : grid_(&grid), global_dims_(std::move(global_dims)) {
+  local_ = tensor::Tensor<T>(local_dims_for(grid, global_dims_));
+}
+
+template <typename T>
+DistTensor<T>::DistTensor(const ProcessorGrid& grid,
+                          std::vector<idx_t> global_dims,
+                          tensor::Tensor<T> local)
+    : grid_(&grid),
+      global_dims_(std::move(global_dims)),
+      local_(std::move(local)) {
+  RAHOOI_REQUIRE(local_.dims() == local_dims_for(grid, global_dims_),
+                 "local block shape does not match the distribution");
+}
+
+template <typename T>
+DistTensor<T> DistTensor<T>::generate(
+    const ProcessorGrid& grid, std::vector<idx_t> global_dims,
+    const std::function<T(const std::vector<idx_t>&)>& fn) {
+  DistTensor out(grid, std::move(global_dims));
+  const int d = out.ndims();
+  std::vector<idx_t> offsets(d);
+  for (int j = 0; j < d; ++j) offsets[j] = out.local_offset(j);
+
+  tensor::Tensor<T>& loc = out.local();
+  if (loc.size() == 0) return out;
+  std::vector<idx_t> idx(d, 0), gidx(d);
+  for (idx_t lin = 0; lin < loc.size(); ++lin) {
+    for (int j = 0; j < d; ++j) gidx[j] = offsets[j] + idx[j];
+    loc[lin] = fn(gidx);
+    for (int j = 0; j < d; ++j) {
+      if (++idx[j] < loc.dim(j)) break;
+      idx[j] = 0;
+    }
+  }
+  return out;
+}
+
+template <typename T>
+double DistTensor<T>::norm_squared() const {
+  return grid_->world().allreduce_scalar(local_.sum_squares());
+}
+
+template <typename T>
+double DistTensor<T>::norm() const {
+  return std::sqrt(norm_squared());
+}
+
+template <typename T>
+tensor::Tensor<T> DistTensor<T>::allgather_full() const {
+  const comm::Comm& world = grid_->world();
+  const int p = world.size();
+  const int d = ndims();
+
+  // Every rank can compute every block's shape from the grid alone.
+  std::vector<idx_t> counts(p);
+  for (int r = 0; r < p; ++r) {
+    const std::vector<int> coords = grid_->coords_of(r);
+    idx_t vol = 1;
+    for (int j = 0; j < d; ++j) {
+      vol *= block_size(global_dims_[j], grid_->dim(j), coords[j]);
+    }
+    counts[r] = vol;
+  }
+  idx_t total = 0;
+  for (const idx_t c : counts) total += c;
+  std::vector<T> packed(total);
+  world.allgatherv(local_.data(), packed.data(), counts);
+
+  // Scatter each rank's (contiguous, locally-ordered) block into place.
+  tensor::Tensor<T> full(global_dims_);
+  idx_t base = 0;
+  for (int r = 0; r < p; ++r) {
+    const std::vector<int> coords = grid_->coords_of(r);
+    std::vector<idx_t> bdims(d), boffs(d);
+    for (int j = 0; j < d; ++j) {
+      bdims[j] = block_size(global_dims_[j], grid_->dim(j), coords[j]);
+      boffs[j] = block_offset(global_dims_[j], grid_->dim(j), coords[j]);
+    }
+    const idx_t vol = counts[r];
+    std::vector<idx_t> idx(d, 0), gidx(d);
+    for (idx_t lin = 0; lin < vol; ++lin) {
+      for (int j = 0; j < d; ++j) gidx[j] = boffs[j] + idx[j];
+      full.at(gidx) = packed[base + lin];
+      for (int j = 0; j < d; ++j) {
+        if (++idx[j] < bdims[j]) break;
+        idx[j] = 0;
+      }
+    }
+    base += vol;
+  }
+  return full;
+}
+
+template class DistTensor<float>;
+template class DistTensor<double>;
+
+}  // namespace rahooi::dist

@@ -1,0 +1,68 @@
+#pragma once
+// Block-distributed dense tensor: each rank of a ProcessorGrid owns the
+// block of the global tensor selected by its grid coordinates (TuckerMPI's
+// data distribution). The grid is borrowed and must outlive the tensor.
+
+#include <functional>
+#include <vector>
+
+#include "dist/block.hpp"
+#include "dist/grid.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rahooi::dist {
+
+template <typename T>
+class DistTensor {
+ public:
+  DistTensor() = default;
+
+  /// Zero-initialized distributed tensor of the given global shape.
+  DistTensor(const ProcessorGrid& grid, std::vector<idx_t> global_dims);
+
+  /// Wraps an already-filled local block; its dims must equal local_dims().
+  DistTensor(const ProcessorGrid& grid, std::vector<idx_t> global_dims,
+             tensor::Tensor<T> local);
+
+  /// Fills each rank's block from a global-index function — communication-
+  /// free generation (see common/rng.hpp for why generators are stateless).
+  static DistTensor generate(
+      const ProcessorGrid& grid, std::vector<idx_t> global_dims,
+      const std::function<T(const std::vector<idx_t>&)>& fn);
+
+  const ProcessorGrid& grid() const { return *grid_; }
+  int ndims() const { return static_cast<int>(global_dims_.size()); }
+  const std::vector<idx_t>& global_dims() const { return global_dims_; }
+  idx_t global_dim(int j) const { return global_dims_[j]; }
+  idx_t global_size() const { return tensor::volume(global_dims_); }
+
+  tensor::Tensor<T>& local() { return local_; }
+  const tensor::Tensor<T>& local() const { return local_; }
+
+  /// Global index where this rank's block starts in mode j.
+  idx_t local_offset(int j) const {
+    return block_offset(global_dims_[j], grid_->dim(j), grid_->coord(j));
+  }
+
+  /// This rank's block extent in mode j.
+  idx_t local_dim(int j) const { return local_.dim(j); }
+
+  /// ||X||^2 across all ranks (allreduce).
+  double norm_squared() const;
+
+  double norm() const;
+
+  /// Gathers the full tensor onto every rank. Intended for small tensors
+  /// (the core during rank-adaptive analysis) and for tests.
+  tensor::Tensor<T> allgather_full() const;
+
+ private:
+  std::vector<idx_t> local_dims_for(const ProcessorGrid& grid,
+                                    const std::vector<idx_t>& global) const;
+
+  const ProcessorGrid* grid_ = nullptr;
+  std::vector<idx_t> global_dims_;
+  tensor::Tensor<T> local_;
+};
+
+}  // namespace rahooi::dist

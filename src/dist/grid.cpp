@@ -1,0 +1,55 @@
+#include "dist/grid.hpp"
+
+#include "common/contracts.hpp"
+
+namespace rahooi::dist {
+
+ProcessorGrid::ProcessorGrid(comm::Comm world, std::vector<int> dims)
+    : world_(std::move(world)), dims_(std::move(dims)) {
+  RAHOOI_REQUIRE(!dims_.empty(), "processor grid needs at least one dim");
+  int total = 1;
+  for (const int d : dims_) {
+    RAHOOI_REQUIRE(d >= 1, "grid dimensions must be positive");
+    total *= d;
+  }
+  RAHOOI_REQUIRE(total == world_.size(),
+                 "grid dimensions must multiply to the communicator size");
+
+  coords_ = coords_of(world_.rank());
+
+  // Sub-communicator along dimension j: color = linear index over all other
+  // coordinates, key = coordinate j so sub-ranks equal grid coordinates.
+  mode_comms_.reserve(dims_.size());
+  for (int j = 0; j < ndims(); ++j) {
+    int color = 0, stride = 1;
+    for (int i = 0; i < ndims(); ++i) {
+      if (i == j) continue;
+      color += coords_[i] * stride;
+      stride *= dims_[i];
+    }
+    mode_comms_.push_back(world_.split(color, coords_[j]));
+  }
+}
+
+std::vector<int> ProcessorGrid::coords_of(int rank) const {
+  std::vector<int> coords(ndims());
+  for (int j = 0; j < ndims(); ++j) {
+    coords[j] = rank % dims_[j];
+    rank /= dims_[j];
+  }
+  return coords;
+}
+
+int ProcessorGrid::rank_of(const std::vector<int>& coords) const {
+  RAHOOI_REQUIRE(static_cast<int>(coords.size()) == ndims(),
+                 "rank_of: wrong coordinate count");
+  int rank = 0, stride = 1;
+  for (int j = 0; j < ndims(); ++j) {
+    RAHOOI_DEBUG_ASSERT(coords[j] >= 0 && coords[j] < dims_[j]);
+    rank += coords[j] * stride;
+    stride *= dims_[j];
+  }
+  return rank;
+}
+
+}  // namespace rahooi::dist

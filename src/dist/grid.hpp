@@ -1,0 +1,46 @@
+#pragma once
+// d-dimensional processor grid over a world communicator, mirroring
+// TuckerMPI's grid: rank r has coordinates with the first grid dimension
+// varying fastest, and per-mode sub-communicators (the P_j ranks that share
+// all coordinates except coordinate j) carry the mode-wise collectives of
+// the parallel TTM/Gram/contraction kernels.
+
+#include <vector>
+
+#include "comm/comm.hpp"
+
+namespace rahooi::dist {
+
+class ProcessorGrid {
+ public:
+  /// `dims` must multiply to world.size(). Builds one sub-communicator per
+  /// grid dimension (collective over all ranks of `world`).
+  ProcessorGrid(comm::Comm world, std::vector<int> dims);
+
+  int ndims() const { return static_cast<int>(dims_.size()); }
+  int dim(int j) const { return dims_[j]; }
+  const std::vector<int>& dims() const { return dims_; }
+
+  const comm::Comm& world() const { return world_; }
+
+  /// Sub-communicator along grid dimension j; this rank's rank within it is
+  /// coord(j).
+  const comm::Comm& mode_comm(int j) const { return mode_comms_[j]; }
+
+  /// This rank's coordinate along grid dimension j.
+  int coord(int j) const { return coords_[j]; }
+
+  /// Coordinates of an arbitrary world rank.
+  std::vector<int> coords_of(int rank) const;
+
+  /// World rank for given coordinates (first dimension fastest).
+  int rank_of(const std::vector<int>& coords) const;
+
+ private:
+  comm::Comm world_;
+  std::vector<int> dims_;
+  std::vector<int> coords_;
+  std::vector<comm::Comm> mode_comms_;
+};
+
+}  // namespace rahooi::dist

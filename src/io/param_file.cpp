@@ -1,0 +1,136 @@
+#include "io/param_file.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace rahooi::io {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+ParamFile ParamFile::parse(const std::string& text) {
+  ParamFile pf;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    RAHOOI_REQUIRE(eq != std::string::npos,
+                   "parameter file line " + std::to_string(lineno) +
+                       " has no '='");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    RAHOOI_REQUIRE(!key.empty(), "parameter file line " +
+                                     std::to_string(lineno) +
+                                     " has an empty key");
+    pf.set(key, value);
+  }
+  return pf;
+}
+
+ParamFile ParamFile::load(const std::string& path) {
+  std::ifstream in(path);
+  RAHOOI_REQUIRE(in.good(), "cannot open parameter file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+bool ParamFile::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string ParamFile::get_string(const std::string& key,
+                                  const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+bool ParamFile::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw precondition_error("parameter '" + key + "' is not a boolean: " +
+                           it->second);
+}
+
+long long ParamFile::get_int(const std::string& key,
+                             long long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(it->second, &pos);
+    RAHOOI_REQUIRE(trim(it->second.substr(pos)).empty(), "trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    throw precondition_error("parameter '" + key + "' is not an integer: " +
+                             it->second);
+  }
+}
+
+double ParamFile::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    RAHOOI_REQUIRE(trim(it->second.substr(pos)).empty(), "trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    throw precondition_error("parameter '" + key + "' is not a number: " +
+                             it->second);
+  }
+}
+
+std::vector<idx_t> ParamFile::get_dims(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return {};
+  std::vector<idx_t> dims;
+  std::istringstream in(it->second);
+  long long v = 0;
+  while (in >> v) dims.push_back(v);
+  RAHOOI_REQUIRE(in.eof(), "parameter '" + key +
+                               "' is not a list of integers: " + it->second);
+  return dims;
+}
+
+std::vector<int> ParamFile::get_ints(const std::string& key) const {
+  std::vector<int> out;
+  for (const idx_t v : get_dims(key)) out.push_back(static_cast<int>(v));
+  return out;
+}
+
+std::string ParamFile::to_string() const {
+  std::ostringstream os;
+  for (const std::string& key : order_) {
+    os << key << " = " << values_.at(key) << '\n';
+  }
+  return os.str();
+}
+
+void ParamFile::set(const std::string& key, const std::string& value) {
+  if (values_.count(key) == 0) order_.push_back(key);
+  values_[key] = value;
+}
+
+}  // namespace rahooi::io

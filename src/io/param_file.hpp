@@ -1,0 +1,62 @@
+#pragma once
+// TuckerMPI-style parameter files, as used by the paper's artifact drivers:
+//
+//   Print options = true
+//   Noise = 0.0001
+//   Processor grid dims = 1 2 2 2
+//   Global dims = 100 100 100 100
+//   Ranks = 10 10 10 10
+//   SVD Method = 2
+//   Dimension Tree Memoization = true
+//   HOOI-Adapt Threshold = 0.1
+//   HOOI max iters = 3
+//
+// Lines are "Key = value(s)"; '#' starts a comment; keys are
+// case-sensitive; whitespace around keys and values is trimmed.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace rahooi::io {
+
+using la::idx_t;
+
+class ParamFile {
+ public:
+  ParamFile() = default;
+
+  /// Parses from text; throws precondition_error on malformed lines.
+  static ParamFile parse(const std::string& text);
+
+  /// Reads and parses a file; throws on IO or parse failure.
+  static ParamFile load(const std::string& path);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters; each returns `fallback` when the key is absent and
+  /// throws precondition_error when the value cannot be converted.
+  std::string get_string(const std::string& key,
+                         const std::string& fallback = "") const;
+  bool get_bool(const std::string& key, bool fallback) const;
+  long long get_int(const std::string& key, long long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::vector<idx_t> get_dims(const std::string& key) const;
+  std::vector<int> get_ints(const std::string& key) const;
+
+  /// All keys in file order (for "Print options" echoes).
+  const std::vector<std::string>& keys() const { return order_; }
+
+  /// Renders back to parameter-file text.
+  std::string to_string() const;
+
+  void set(const std::string& key, const std::string& value);
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace rahooi::io

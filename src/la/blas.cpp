@@ -1,0 +1,249 @@
+#include "la/blas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace rahooi::la {
+
+namespace {
+
+// Cache-blocking parameters. Panels of A/B of roughly kBlockK * kBlockJ
+// elements stay resident in L1/L2 while C columns stream through.
+constexpr idx_t kBlockK = 256;
+constexpr idx_t kBlockJ = 128;
+
+template <typename T>
+void scale_matrix(MatrixRef<T> c, T beta) {
+  if (beta == T{1}) return;
+  for (idx_t j = 0; j < c.cols; ++j) {
+    T* __restrict__ cj = c.col(j);
+    if (beta == T{0}) {
+      std::fill(cj, cj + c.rows, T{0});
+    } else {
+      for (idx_t i = 0; i < c.rows; ++i) cj[i] *= beta;
+    }
+  }
+}
+
+// C += alpha * A * B (no transposes): axpy-based, vectorizes over rows of C.
+template <typename T>
+void gemm_nn(T alpha, ConstMatrixRef<T> a, ConstMatrixRef<T> b,
+             MatrixRef<T> c) {
+  const idx_t m = c.rows, n = c.cols, k = a.cols;
+  for (idx_t l0 = 0; l0 < k; l0 += kBlockK) {
+    const idx_t l1 = std::min(l0 + kBlockK, k);
+    for (idx_t j = 0; j < n; ++j) {
+      T* __restrict__ cj = c.col(j);
+      for (idx_t l = l0; l < l1; ++l) {
+        const T blj = alpha * b(l, j);
+        if (blj == T{0}) continue;
+        const T* __restrict__ al = a.col(l);
+        for (idx_t i = 0; i < m; ++i) cj[i] += blj * al[i];
+      }
+    }
+  }
+}
+
+// C += alpha * A^T * B: dot-product based.
+template <typename T>
+void gemm_tn(T alpha, ConstMatrixRef<T> a, ConstMatrixRef<T> b,
+             MatrixRef<T> c) {
+  const idx_t m = c.rows, n = c.cols, k = a.rows;
+  for (idx_t j = 0; j < n; ++j) {
+    const T* __restrict__ bj = b.col(j);
+    T* __restrict__ cj = c.col(j);
+    for (idx_t i = 0; i < m; ++i) {
+      const T* __restrict__ ai = a.col(i);
+      T acc{};
+      for (idx_t l = 0; l < k; ++l) acc += ai[l] * bj[l];
+      cj[i] += alpha * acc;
+    }
+  }
+}
+
+// C += alpha * A * B^T: axpy-based over columns of A.
+template <typename T>
+void gemm_nt(T alpha, ConstMatrixRef<T> a, ConstMatrixRef<T> b,
+             MatrixRef<T> c) {
+  const idx_t m = c.rows, n = c.cols, k = a.cols;
+  for (idx_t l0 = 0; l0 < k; l0 += kBlockK) {
+    const idx_t l1 = std::min(l0 + kBlockK, k);
+    for (idx_t j = 0; j < n; ++j) {
+      T* __restrict__ cj = c.col(j);
+      for (idx_t l = l0; l < l1; ++l) {
+        const T bjl = alpha * b(j, l);
+        if (bjl == T{0}) continue;
+        const T* __restrict__ al = a.col(l);
+        for (idx_t i = 0; i < m; ++i) cj[i] += bjl * al[i];
+      }
+    }
+  }
+}
+
+// C += alpha * A^T * B^T (rare; not performance-critical in this library).
+template <typename T>
+void gemm_tt(T alpha, ConstMatrixRef<T> a, ConstMatrixRef<T> b,
+             MatrixRef<T> c) {
+  const idx_t m = c.rows, n = c.cols, k = a.rows;
+  for (idx_t j = 0; j < n; ++j) {
+    T* __restrict__ cj = c.col(j);
+    for (idx_t i = 0; i < m; ++i) {
+      const T* __restrict__ ai = a.col(i);
+      T acc{};
+      for (idx_t l = 0; l < k; ++l) acc += ai[l] * b(j, l);
+      cj[i] += alpha * acc;
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void gemm(Op op_a, Op op_b, T alpha, ConstMatrixRef<T> a, ConstMatrixRef<T> b,
+          T beta, MatrixRef<T> c) {
+  const idx_t m = (op_a == Op::none) ? a.rows : a.cols;
+  const idx_t ka = (op_a == Op::none) ? a.cols : a.rows;
+  const idx_t kb = (op_b == Op::none) ? b.rows : b.cols;
+  const idx_t n = (op_b == Op::none) ? b.cols : b.rows;
+  RAHOOI_REQUIRE(ka == kb, "gemm: inner dimensions disagree");
+  RAHOOI_REQUIRE(c.rows == m && c.cols == n, "gemm: C has wrong shape");
+
+  scale_matrix(c, beta);
+  if (alpha == T{0} || m == 0 || n == 0 || ka == 0) return;
+
+  if (op_a == Op::none && op_b == Op::none) {
+    gemm_nn(alpha, a, b, c);
+  } else if (op_a == Op::transpose && op_b == Op::none) {
+    gemm_tn(alpha, a, b, c);
+  } else if (op_a == Op::none && op_b == Op::transpose) {
+    gemm_nt(alpha, a, b, c);
+  } else {
+    gemm_tt(alpha, a, b, c);
+  }
+  stats::add_flops(2.0 * static_cast<double>(m) * n * ka);
+}
+
+template <typename T>
+Matrix<T> matmul(Op op_a, Op op_b, ConstMatrixRef<T> a, ConstMatrixRef<T> b) {
+  const idx_t m = (op_a == Op::none) ? a.rows : a.cols;
+  const idx_t n = (op_b == Op::none) ? b.cols : b.rows;
+  Matrix<T> c(m, n);
+  gemm(op_a, op_b, T{1}, a, b, T{0}, c.ref());
+  return c;
+}
+
+template <typename T>
+void syrk(T alpha, ConstMatrixRef<T> a, T beta, MatrixRef<T> c) {
+  const idx_t m = a.rows, k = a.cols;
+  RAHOOI_REQUIRE(c.rows == m && c.cols == m, "syrk: C must be m x m");
+
+  scale_matrix(c, beta);
+  // Lower triangle via blocked rank-k updates, then mirror.
+  for (idx_t l0 = 0; l0 < k; l0 += kBlockJ) {
+    const idx_t l1 = std::min(l0 + kBlockJ, k);
+    for (idx_t j = 0; j < m; ++j) {
+      T* __restrict__ cj = c.col(j);
+      for (idx_t l = l0; l < l1; ++l) {
+        const T* __restrict__ al = a.col(l);
+        const T ajl = alpha * al[j];
+        if (ajl == T{0}) continue;
+        for (idx_t i = j; i < m; ++i) cj[i] += ajl * al[i];
+      }
+    }
+  }
+  for (idx_t j = 1; j < m; ++j) {
+    for (idx_t i = 0; i < j; ++i) c(i, j) = c(j, i);
+  }
+  stats::add_flops(static_cast<double>(m) * (m + 1) * k);
+}
+
+template <typename T>
+void gemv(Op op_a, T alpha, ConstMatrixRef<T> a, const T* x, T beta, T* y) {
+  const idx_t m = (op_a == Op::none) ? a.rows : a.cols;
+  const idx_t n = (op_a == Op::none) ? a.cols : a.rows;
+  if (beta == T{0}) {
+    std::fill(y, y + m, T{0});
+  } else if (beta != T{1}) {
+    for (idx_t i = 0; i < m; ++i) y[i] *= beta;
+  }
+  if (op_a == Op::none) {
+    for (idx_t j = 0; j < n; ++j) {
+      const T axj = alpha * x[j];
+      const T* __restrict__ aj = a.col(j);
+      for (idx_t i = 0; i < m; ++i) y[i] += axj * aj[i];
+    }
+  } else {
+    for (idx_t i = 0; i < m; ++i) {
+      y[i] += alpha * dot(n, a.col(i), x);
+    }
+  }
+  stats::add_flops(2.0 * static_cast<double>(m) * n);
+}
+
+template <typename T>
+T dot(idx_t n, const T* x, const T* y) {
+  T acc{};
+  for (idx_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+template <typename T>
+void axpy(idx_t n, T alpha, const T* x, T* y) {
+  for (idx_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+template <typename T>
+void scal(idx_t n, T alpha, T* x) {
+  for (idx_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+template <typename T>
+double sum_squares(idx_t n, const T* x) {
+  double acc = 0.0;
+  for (idx_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(x[i]) * static_cast<double>(x[i]);
+  }
+  return acc;
+}
+
+template <typename T>
+double frobenius_norm(ConstMatrixRef<T> a) {
+  double acc = 0.0;
+  for (idx_t j = 0; j < a.cols; ++j) acc += sum_squares(a.rows, a.col(j));
+  return std::sqrt(acc);
+}
+
+template <typename T>
+double max_abs_diff(ConstMatrixRef<T> a, ConstMatrixRef<T> b) {
+  RAHOOI_REQUIRE(a.rows == b.rows && a.cols == b.cols,
+                 "max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (idx_t j = 0; j < a.cols; ++j) {
+    for (idx_t i = 0; i < a.rows; ++i) {
+      m = std::max(m, std::abs(static_cast<double>(a(i, j)) - b(i, j)));
+    }
+  }
+  return m;
+}
+
+#define RAHOOI_INSTANTIATE_BLAS(T)                                            \
+  template void gemm<T>(Op, Op, T, ConstMatrixRef<T>, ConstMatrixRef<T>, T,   \
+                        MatrixRef<T>);                                        \
+  template Matrix<T> matmul<T>(Op, Op, ConstMatrixRef<T>, ConstMatrixRef<T>); \
+  template void syrk<T>(T, ConstMatrixRef<T>, T, MatrixRef<T>);               \
+  template void gemv<T>(Op, T, ConstMatrixRef<T>, const T*, T, T*);           \
+  template T dot<T>(idx_t, const T*, const T*);                               \
+  template void axpy<T>(idx_t, T, const T*, T*);                              \
+  template void scal<T>(idx_t, T, T*);                                        \
+  template double sum_squares<T>(idx_t, const T*);                            \
+  template double frobenius_norm<T>(ConstMatrixRef<T>);                       \
+  template double max_abs_diff<T>(ConstMatrixRef<T>, ConstMatrixRef<T>);
+
+RAHOOI_INSTANTIATE_BLAS(float)
+RAHOOI_INSTANTIATE_BLAS(double)
+
+#undef RAHOOI_INSTANTIATE_BLAS
+
+}  // namespace rahooi::la

@@ -1,0 +1,60 @@
+#pragma once
+// BLAS-equivalent dense kernels (substitute for a vendor BLAS, which is not
+// available in this environment).
+//
+// All kernels operate on column-major views, are cache-blocked, and report
+// their flop counts to the instrumentation layer (common/stats.hpp), which
+// is how the paper's Table 1 is reproduced from measurement.
+
+#include "la/matrix.hpp"
+
+namespace rahooi::la {
+
+enum class Op { none, transpose };
+
+/// C = alpha * op(A) * op(B) + beta * C.
+///
+/// Shapes: with op(A) m x k and op(B) k x n, C must be m x n.
+template <typename T>
+void gemm(Op op_a, Op op_b, T alpha, ConstMatrixRef<T> a, ConstMatrixRef<T> b,
+          T beta, MatrixRef<T> c);
+
+/// Convenience allocation form of gemm with alpha=1, beta=0.
+template <typename T>
+Matrix<T> matmul(Op op_a, Op op_b, ConstMatrixRef<T> a, ConstMatrixRef<T> b);
+
+/// C = alpha * A * A^T + beta * C with C symmetric (both triangles stored).
+/// Exploits symmetry: ~m^2 k flops instead of 2 m^2 k.
+template <typename T>
+void syrk(T alpha, ConstMatrixRef<T> a, T beta, MatrixRef<T> c);
+
+/// y = alpha * op(A) * x + beta * y.
+template <typename T>
+void gemv(Op op_a, T alpha, ConstMatrixRef<T> a, const T* x, T beta, T* y);
+
+/// Euclidean dot product of length-n arrays.
+template <typename T>
+T dot(idx_t n, const T* x, const T* y);
+
+/// y += alpha * x over length-n arrays.
+template <typename T>
+void axpy(idx_t n, T alpha, const T* x, T* y);
+
+/// x *= alpha over a length-n array.
+template <typename T>
+void scal(idx_t n, T alpha, T* x);
+
+/// Sum of squared entries of a length-n array (accumulated in double for
+/// accuracy in single precision).
+template <typename T>
+double sum_squares(idx_t n, const T* x);
+
+/// Frobenius norm of a matrix view.
+template <typename T>
+double frobenius_norm(ConstMatrixRef<T> a);
+
+/// Max |a - b| over corresponding entries (test/diagnostic helper).
+template <typename T>
+double max_abs_diff(ConstMatrixRef<T> a, ConstMatrixRef<T> b);
+
+}  // namespace rahooi::la

@@ -1,0 +1,34 @@
+#pragma once
+// Symmetric eigendecomposition (substitute for LAPACK SYEV).
+//
+// This is the sequential EVD that TuckerMPI applies to the Gram matrix of a
+// tensor unfolding (paper §2.1). It is deliberately *not* parallelized —
+// reproducing TuckerMPI's O(d n^3) sequential bottleneck is one of the
+// scaling effects the paper measures (Fig. 2, 3-way case).
+//
+// The reduction runs internally in double precision regardless of the
+// element type; the Gram matrix of a single-precision unfolding can be too
+// ill-conditioned for a float-precision QL iteration to converge reliably.
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace rahooi::la {
+
+template <typename T>
+struct EvdResult {
+  /// Eigenvalues in descending order (clamped at zero for the Gram use-case
+  /// happens at the caller; tiny negative values from roundoff are kept).
+  std::vector<double> eigenvalues;
+  /// Orthonormal eigenvectors, column i pairs with eigenvalues[i].
+  Matrix<T> vectors;
+};
+
+/// Full eigendecomposition of a symmetric matrix via Householder
+/// tridiagonalization + implicit-shift QL. Throws numerical_error if the QL
+/// iteration fails to converge (pathological input).
+template <typename T>
+EvdResult<T> sym_evd(ConstMatrixRef<T> a);
+
+}  // namespace rahooi::la

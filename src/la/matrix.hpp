@@ -1,0 +1,134 @@
+#pragma once
+// Column-major dense matrix container and non-owning views.
+//
+// Column-major layout is chosen to match the tensor layout (first mode
+// fastest): the mode-1 unfolding of a tensor *is* a column-major matrix over
+// the tensor's buffer with no copying, which is what makes the TTM-as-GEMM
+// formulation cheap.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace rahooi::la {
+
+using idx_t = std::int64_t;
+
+/// Non-owning mutable view of a column-major matrix with leading dimension.
+template <typename T>
+struct MatrixRef {
+  T* data = nullptr;
+  idx_t rows = 0;
+  idx_t cols = 0;
+  idx_t ld = 0;  ///< stride between columns; ld >= rows
+
+  T& operator()(idx_t i, idx_t j) const {
+    RAHOOI_DEBUG_ASSERT(i >= 0 && i < rows && j >= 0 && j < cols);
+    return data[i + j * ld];
+  }
+
+  T* col(idx_t j) const {
+    RAHOOI_DEBUG_ASSERT(j >= 0 && j < cols);
+    return data + j * ld;
+  }
+
+  /// View of the sub-block starting at (i0, j0) with shape (r, c).
+  MatrixRef block(idx_t i0, idx_t j0, idx_t r, idx_t c) const {
+    RAHOOI_DEBUG_ASSERT(i0 >= 0 && j0 >= 0 && i0 + r <= rows &&
+                        j0 + c <= cols);
+    return MatrixRef{data + i0 + j0 * ld, r, c, ld};
+  }
+};
+
+/// Non-owning read-only view of a column-major matrix.
+template <typename T>
+struct ConstMatrixRef {
+  const T* data = nullptr;
+  idx_t rows = 0;
+  idx_t cols = 0;
+  idx_t ld = 0;
+
+  ConstMatrixRef() = default;
+  ConstMatrixRef(const T* d, idx_t r, idx_t c, idx_t l)
+      : data(d), rows(r), cols(c), ld(l) {}
+  ConstMatrixRef(MatrixRef<T> m)  // NOLINT: implicit mutable->const view
+      : data(m.data), rows(m.rows), cols(m.cols), ld(m.ld) {}
+
+  const T& operator()(idx_t i, idx_t j) const {
+    RAHOOI_DEBUG_ASSERT(i >= 0 && i < rows && j >= 0 && j < cols);
+    return data[i + j * ld];
+  }
+
+  const T* col(idx_t j) const {
+    RAHOOI_DEBUG_ASSERT(j >= 0 && j < cols);
+    return data + j * ld;
+  }
+
+  ConstMatrixRef block(idx_t i0, idx_t j0, idx_t r, idx_t c) const {
+    RAHOOI_DEBUG_ASSERT(i0 >= 0 && j0 >= 0 && i0 + r <= rows &&
+                        j0 + c <= cols);
+    return ConstMatrixRef{data + i0 + j0 * ld, r, c, ld};
+  }
+};
+
+/// Owning column-major matrix. Value semantics; moves are cheap.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(idx_t rows, idx_t cols) : rows_(rows), cols_(cols) {
+    RAHOOI_REQUIRE(rows >= 0 && cols >= 0, "matrix dims must be nonnegative");
+    data_.assign(static_cast<std::size_t>(rows) * cols, T{});
+  }
+
+  idx_t rows() const { return rows_; }
+  idx_t cols() const { return cols_; }
+  idx_t size() const { return rows_ * cols_; }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  T& operator()(idx_t i, idx_t j) {
+    RAHOOI_DEBUG_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i + j * rows_)];
+  }
+  const T& operator()(idx_t i, idx_t j) const {
+    RAHOOI_DEBUG_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(i + j * rows_)];
+  }
+
+  MatrixRef<T> ref() {
+    return MatrixRef<T>{data_.data(), rows_, cols_, rows_};
+  }
+  ConstMatrixRef<T> cref() const {
+    return ConstMatrixRef<T>{data_.data(), rows_, cols_, rows_};
+  }
+  operator MatrixRef<T>() { return ref(); }            // NOLINT
+  operator ConstMatrixRef<T>() const { return cref(); }  // NOLINT
+
+  /// Copy of the leading (r x c) block — used when truncating factor
+  /// matrices to adapted ranks.
+  Matrix leading_block(idx_t r, idx_t c) const {
+    RAHOOI_REQUIRE(r <= rows_ && c <= cols_, "leading block out of range");
+    Matrix out(r, c);
+    for (idx_t j = 0; j < c; ++j) {
+      for (idx_t i = 0; i < r; ++i) out(i, j) = (*this)(i, j);
+    }
+    return out;
+  }
+
+  static Matrix identity(idx_t n) {
+    Matrix out(n, n);
+    for (idx_t i = 0; i < n; ++i) out(i, i) = T{1};
+    return out;
+  }
+
+ private:
+  idx_t rows_ = 0;
+  idx_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace rahooi::la

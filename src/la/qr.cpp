@@ -1,0 +1,211 @@
+#include "la/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/stats.hpp"
+#include "la/blas.hpp"
+
+namespace rahooi::la {
+
+namespace {
+
+// Generates a Householder reflector for x (length m): on return x holds the
+// reflector vector v with v[0] = 1 implicitly (we store v[1:] in x[1:] and
+// return beta = x[0]'s new value separately). Returns tau; x[0] is set to
+// the resulting R diagonal entry.
+template <typename T>
+T make_householder(idx_t m, T* x, T& diag_out) {
+  const double xnorm2 = sum_squares(m - 1, x + 1);
+  const T alpha = x[0];
+  if (xnorm2 == 0.0) {
+    diag_out = alpha;
+    return T{0};  // already triangular in this column
+  }
+  double beta = -std::sqrt(static_cast<double>(alpha) * alpha + xnorm2);
+  if (alpha < T{0}) beta = -beta;
+  const T tau = static_cast<T>((beta - static_cast<double>(alpha)) / beta);
+  const T inv = static_cast<T>(1.0 / (static_cast<double>(alpha) - beta));
+  for (idx_t i = 1; i < m; ++i) x[i] *= inv;
+  diag_out = static_cast<T>(beta);
+  return tau;
+}
+
+// Applies (I - tau v v^T) to columns [j0, n) of A, where v (length m) has
+// v[0] = 1 and v[1:] stored in vcol[1:], acting on rows [row0, row0 + m).
+template <typename T>
+void apply_householder(MatrixRef<T> a, idx_t row0, idx_t m, const T* v, T tau,
+                       idx_t j0) {
+  if (tau == T{0}) return;
+  for (idx_t j = j0; j < a.cols; ++j) {
+    T* __restrict__ col = a.col(j) + row0;
+    T s = col[0];
+    for (idx_t i = 1; i < m; ++i) s += v[i] * col[i];
+    s *= tau;
+    col[0] -= s;
+    for (idx_t i = 1; i < m; ++i) col[i] -= s * v[i];
+  }
+}
+
+// Forms the first k columns of Q from reflectors stored below the diagonal
+// of `h` (kr reflectors) with scalar factors tau.
+template <typename T>
+Matrix<T> form_q(const Matrix<T>& h, const std::vector<T>& tau, idx_t kr,
+                 idx_t k) {
+  const idx_t m = h.rows();
+  Matrix<T> q(m, k);
+  for (idx_t j = 0; j < k; ++j) q(j, j) = T{1};
+  // Q = H_0 H_1 ... H_{kr-1} * [e_0 .. e_{k-1}]; apply in reverse order.
+  for (idx_t p = kr - 1; p >= 0; --p) {
+    const idx_t len = m - p;
+    auto qref = q.ref();
+    apply_householder(qref, p, len, h.data() + p + p * m, tau[p], 0);
+  }
+  return q;
+}
+
+}  // namespace
+
+template <typename T>
+QrResult<T> qr_thin(ConstMatrixRef<T> a) {
+  const idx_t m = a.rows, n = a.cols;
+  RAHOOI_REQUIRE(m >= n, "qr_thin requires m >= n");
+
+  Matrix<T> h(m, n);
+  for (idx_t j = 0; j < n; ++j) {
+    std::copy(a.col(j), a.col(j) + m, h.data() + j * m);
+  }
+  std::vector<T> tau(n);
+  auto href = h.ref();
+  for (idx_t p = 0; p < n; ++p) {
+    T* col = h.data() + p + p * m;
+    T diag;
+    tau[p] = make_householder(m - p, col, diag);
+    const T saved = *col;
+    *col = T{1};
+    apply_householder(href, p, m - p, col, tau[p], p + 1);
+    *col = saved;
+    h(p, p) = diag;
+  }
+
+  QrResult<T> out;
+  out.r = Matrix<T>(n, n);
+  for (idx_t j = 0; j < n; ++j) {
+    for (idx_t i = 0; i <= j; ++i) out.r(i, j) = h(i, j);
+  }
+  out.q = form_q(h, tau, n, n);
+  // Factorization ~2mn^2 - 2n^3/3 plus Q formation of similar cost.
+  stats::add_flops(4.0 * m * n * n - 4.0 / 3.0 * n * n * n);
+  return out;
+}
+
+template <typename T>
+QrcpResult<T> qrcp(ConstMatrixRef<T> a, idx_t k) {
+  const idx_t m = a.rows, n = a.cols;
+  const idx_t kmax = std::min(m, n);
+  if (k < 0) k = kmax;
+  RAHOOI_REQUIRE(k <= m, "qrcp: cannot form more Q columns than rows");
+
+  Matrix<T> h(m, n);
+  for (idx_t j = 0; j < n; ++j) {
+    std::copy(a.col(j), a.col(j) + m, h.data() + j * m);
+  }
+  std::vector<idx_t> perm(n);
+  std::iota(perm.begin(), perm.end(), idx_t{0});
+
+  // Partial column norms, maintained by downdating with occasional exact
+  // recomputation when cancellation would make the downdate unreliable.
+  std::vector<double> cnorm(n), cnorm_ref(n);
+  for (idx_t j = 0; j < n; ++j) {
+    cnorm[j] = std::sqrt(sum_squares(m, h.data() + j * m));
+    cnorm_ref[j] = cnorm[j];
+  }
+  const double tol3z =
+      std::sqrt(static_cast<double>(std::numeric_limits<T>::epsilon()));
+
+  std::vector<T> tau(kmax, T{0});
+  auto href = h.ref();
+  const idx_t steps = std::min(k, kmax);
+  for (idx_t p = 0; p < steps; ++p) {
+    // Pivot: remaining column with largest partial norm.
+    idx_t piv = p;
+    for (idx_t j = p + 1; j < n; ++j) {
+      if (cnorm[j] > cnorm[piv]) piv = j;
+    }
+    if (piv != p) {
+      for (idx_t i = 0; i < m; ++i) std::swap(h(i, p), h(i, piv));
+      std::swap(perm[p], perm[piv]);
+      std::swap(cnorm[p], cnorm[piv]);
+      std::swap(cnorm_ref[p], cnorm_ref[piv]);
+    }
+
+    T* col = h.data() + p + p * m;
+    T diag;
+    tau[p] = make_householder(m - p, col, diag);
+    const T saved = *col;
+    *col = T{1};
+    apply_householder(href, p, m - p, col, tau[p], p + 1);
+    *col = saved;
+    h(p, p) = diag;
+
+    // Downdate partial norms of trailing columns (LAPACK xGEQP3 scheme).
+    for (idx_t j = p + 1; j < n; ++j) {
+      if (cnorm[j] == 0.0) continue;
+      double t = std::abs(static_cast<double>(h(p, j))) / cnorm[j];
+      t = std::max(0.0, (1.0 + t) * (1.0 - t));
+      const double ratio = cnorm[j] / cnorm_ref[j];
+      if (t * ratio * ratio <= tol3z) {
+        cnorm[j] = (p + 1 < m)
+                       ? std::sqrt(sum_squares(m - p - 1, h.data() + p + 1 + j * m))
+                       : 0.0;
+        cnorm_ref[j] = cnorm[j];
+      } else {
+        cnorm[j] *= std::sqrt(t);
+      }
+    }
+  }
+
+  QrcpResult<T> out;
+  out.perm = std::move(perm);
+  out.r = Matrix<T>(steps, n);
+  for (idx_t j = 0; j < n; ++j) {
+    const idx_t top = std::min<idx_t>(j + 1, steps);
+    for (idx_t i = 0; i < top; ++i) out.r(i, j) = h(i, j);
+  }
+  out.q = form_q(h, tau, steps, k);
+  stats::add_flops(4.0 * m * n * std::min<idx_t>(k, n));
+  return out;
+}
+
+template <typename T>
+Matrix<T> orthonormalize(ConstMatrixRef<T> a) {
+  return qr_thin(a).q;
+}
+
+template <typename T>
+double orthogonality_error(ConstMatrixRef<T> q) {
+  Matrix<T> gram = matmul(Op::transpose, Op::none, q, q);
+  double err = 0.0;
+  for (idx_t j = 0; j < gram.cols(); ++j) {
+    for (idx_t i = 0; i < gram.rows(); ++i) {
+      const double expect = (i == j) ? 1.0 : 0.0;
+      err = std::max(err, std::abs(static_cast<double>(gram(i, j)) - expect));
+    }
+  }
+  return err;
+}
+
+#define RAHOOI_INSTANTIATE_QR(T)                              \
+  template QrResult<T> qr_thin<T>(ConstMatrixRef<T>);         \
+  template QrcpResult<T> qrcp<T>(ConstMatrixRef<T>, idx_t);   \
+  template Matrix<T> orthonormalize<T>(ConstMatrixRef<T>);    \
+  template double orthogonality_error<T>(ConstMatrixRef<T>);
+
+RAHOOI_INSTANTIATE_QR(float)
+RAHOOI_INSTANTIATE_QR(double)
+
+#undef RAHOOI_INSTANTIATE_QR
+
+}  // namespace rahooi::la

@@ -1,0 +1,52 @@
+#pragma once
+// Householder QR factorizations (substitute for LAPACK GEQRF/GEQP3/ORGQR).
+//
+// QR with column pivoting is the orthonormalization step of the paper's
+// subspace-iteration LLSV (Alg. 5, line 4): pivoting both orthonormalizes
+// the iterate and orders the basis vectors by captured energy, which is what
+// makes the rank-adaptive core analysis's leading-subtensor heuristic
+// reasonable (paper §3.2).
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace rahooi::la {
+
+template <typename T>
+struct QrResult {
+  Matrix<T> q;  ///< m x k with orthonormal columns (thin Q)
+  Matrix<T> r;  ///< k x n upper triangular
+};
+
+template <typename T>
+struct QrcpResult {
+  Matrix<T> q;               ///< m x k with orthonormal columns
+  Matrix<T> r;               ///< k x n upper triangular (of the permuted A)
+  std::vector<idx_t> perm;   ///< column permutation: A(:, perm) = Q * R
+};
+
+/// Thin QR of an m x n matrix (m >= n): A = Q R.
+template <typename T>
+QrResult<T> qr_thin(ConstMatrixRef<T> a);
+
+/// QR with column pivoting: A(:, perm) = Q R, pivots chosen greedily by
+/// remaining column norm (LAPACK GEQP3-style norm downdating). `k` selects
+/// how many orthonormal columns of Q to form; k = min(m, n) by default.
+///
+/// Q is well-defined (orthonormal) even when A is rank deficient: reflectors
+/// for exhausted columns degenerate to the identity and the corresponding Q
+/// columns come from orthonormal completion.
+template <typename T>
+QrcpResult<T> qrcp(ConstMatrixRef<T> a, idx_t k = -1);
+
+/// Orthonormalizes the columns of a (m x n, m >= n) in place via thin QR,
+/// discarding R. Used to initialize HOOI factor matrices from random data.
+template <typename T>
+Matrix<T> orthonormalize(ConstMatrixRef<T> a);
+
+/// Max deviation of Q^T Q from the identity (test/diagnostic helper).
+template <typename T>
+double orthogonality_error(ConstMatrixRef<T> q);
+
+}  // namespace rahooi::la

@@ -1,0 +1,125 @@
+#include "la/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/contracts.hpp"
+#include "common/stats.hpp"
+#include "la/blas.hpp"
+#include "la/qr.hpp"
+
+namespace rahooi::la {
+
+template <typename T>
+SvdResult<T> svd_jacobi(ConstMatrixRef<T> a) {
+  const idx_t m = a.rows, n = a.cols;
+
+  // One-sided Jacobi needs m >= n; handle wide matrices by transposing.
+  if (m < n) {
+    Matrix<T> at(n, m);
+    for (idx_t j = 0; j < n; ++j) {
+      for (idx_t i = 0; i < m; ++i) at(j, i) = a(i, j);
+    }
+    SvdResult<T> t = svd_jacobi<T>(at.cref());
+    return SvdResult<T>{std::move(t.v), std::move(t.singular),
+                        std::move(t.u)};
+  }
+
+  // Work in double for accuracy independent of T.
+  std::vector<double> w(static_cast<std::size_t>(m) * n);
+  for (idx_t j = 0; j < n; ++j) {
+    for (idx_t i = 0; i < m; ++i) w[i + j * m] = a(i, j);
+  }
+  std::vector<double> v(static_cast<std::size_t>(n) * n, 0.0);
+  for (idx_t j = 0; j < n; ++j) v[j + j * n] = 1.0;
+
+  const double eps = std::numeric_limits<double>::epsilon();
+  const int max_sweeps = 60;
+  bool converged = false;
+  for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    converged = true;
+    for (idx_t p = 0; p < n - 1; ++p) {
+      for (idx_t q = p + 1; q < n; ++q) {
+        double* __restrict__ wp = w.data() + p * m;
+        double* __restrict__ wq = w.data() + q * m;
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (idx_t i = 0; i < m; ++i) {
+          app += wp[i] * wp[i];
+          aqq += wq[i] * wq[i];
+          apq += wp[i] * wq[i];
+        }
+        if (std::abs(apq) <= eps * std::sqrt(app * aqq) || apq == 0.0) {
+          continue;
+        }
+        converged = false;
+        // 2x2 symmetric Jacobi rotation annihilating the (p,q) Gram entry.
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t = (zeta >= 0.0)
+                             ? 1.0 / (zeta + std::sqrt(1.0 + zeta * zeta))
+                             : -1.0 / (-zeta + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (idx_t i = 0; i < m; ++i) {
+          const double tmp = wp[i];
+          wp[i] = c * tmp - s * wq[i];
+          wq[i] = s * tmp + c * wq[i];
+        }
+        double* __restrict__ vp = v.data() + p * n;
+        double* __restrict__ vq = v.data() + q * n;
+        for (idx_t i = 0; i < n; ++i) {
+          const double tmp = vp[i];
+          vp[i] = c * tmp - s * vq[i];
+          vq[i] = s * tmp + c * vq[i];
+        }
+      }
+    }
+  }
+  RAHOOI_REQUIRE(converged, "svd_jacobi failed to converge");
+
+  // Column norms are the singular values; sort descending.
+  std::vector<double> sv(n);
+  for (idx_t j = 0; j < n; ++j) {
+    sv[j] = std::sqrt(sum_squares(m, w.data() + j * m));
+  }
+  std::vector<idx_t> order(n);
+  std::iota(order.begin(), order.end(), idx_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](idx_t x, idx_t y) { return sv[x] > sv[y]; });
+
+  SvdResult<T> out;
+  out.u = Matrix<T>(m, n);
+  out.v = Matrix<T>(n, n);
+  out.singular.resize(n);
+  for (idx_t j = 0; j < n; ++j) {
+    const idx_t src = order[j];
+    out.singular[j] = sv[src];
+    const double inv = sv[src] > 0.0 ? 1.0 / sv[src] : 0.0;
+    for (idx_t i = 0; i < m; ++i) {
+      out.u(i, j) = static_cast<T>(w[i + src * m] * inv);
+    }
+    for (idx_t i = 0; i < n; ++i) {
+      out.v(i, j) = static_cast<T>(v[i + src * n]);
+    }
+  }
+  // If A was rank deficient, zero-norm U columns must still be orthonormal:
+  // re-orthonormalize U, then restore the signs of the well-defined columns
+  // so that A = U diag(s) V^T still holds for the nonzero singular values.
+  if (!out.singular.empty() &&
+      out.singular.back() <= eps * std::max(1.0, out.singular.front())) {
+    Matrix<T> q = orthonormalize<T>(out.u.cref());
+    for (idx_t j = 0; j < n; ++j) {
+      if (dot(m, q.data() + j * m, out.u.data() + j * m) < T{0}) {
+        scal(m, T{-1}, q.data() + j * m);
+      }
+    }
+    out.u = std::move(q);
+  }
+  stats::add_flops(6.0 * static_cast<double>(m) * n * n);
+  return out;
+}
+
+template SvdResult<float> svd_jacobi<float>(ConstMatrixRef<float>);
+template SvdResult<double> svd_jacobi<double>(ConstMatrixRef<double>);
+
+}  // namespace rahooi::la

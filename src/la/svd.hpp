@@ -1,0 +1,27 @@
+#pragma once
+// One-sided Jacobi SVD.
+//
+// Used as a high-accuracy oracle in tests and for offline analysis (exact
+// per-mode singular value spectra of small tensors). The production LLSV
+// paths (Gram+EVD and subspace iteration, per the paper) live in core/llsv.
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace rahooi::la {
+
+template <typename T>
+struct SvdResult {
+  Matrix<T> u;                    ///< m x k, orthonormal columns
+  std::vector<double> singular;   ///< k singular values, descending
+  Matrix<T> v;                    ///< n x k, orthonormal columns
+};
+
+/// Thin SVD A = U diag(s) V^T of an m x n matrix (any shape) by one-sided
+/// Jacobi rotations; k = min(m, n). Accurate to machine precision but
+/// O(m n^2) per sweep — intended for small matrices.
+template <typename T>
+SvdResult<T> svd_jacobi(ConstMatrixRef<T> a);
+
+}  // namespace rahooi::la

@@ -1,0 +1,16 @@
+#pragma once
+// Machine-rate calibration: times the library's own GEMM/SYRK/EVD kernels
+// on representative shapes to fill the MachineRates used by the modeled
+// strong-scaling curves. Network constants cannot be measured on a single
+// node; defaults approximate a Slingshot-class interconnect and are stated
+// in every bench output (see DESIGN.md §1 on substitutions).
+
+#include "model/cost_model.hpp"
+
+namespace rahooi::model {
+
+/// Measures local kernel throughput (seconds-long, run once per bench
+/// binary). `quick` shrinks the timing problems for tests.
+MachineRates calibrate(bool quick = false);
+
+}  // namespace rahooi::model

@@ -1,0 +1,143 @@
+#include "tensor/ttm.hpp"
+
+#include <algorithm>
+
+namespace rahooi::tensor {
+
+template <typename T>
+Tensor<T> ttm(const Tensor<T>& x, int mode, la::ConstMatrixRef<T> u,
+              la::Op op) {
+  RAHOOI_REQUIRE(mode >= 0 && mode < x.ndims(), "ttm: bad mode");
+  const idx_t n = x.dim(mode);
+  const idx_t contract = (op == la::Op::transpose) ? u.rows : u.cols;
+  const idx_t result = (op == la::Op::transpose) ? u.cols : u.rows;
+  RAHOOI_REQUIRE(contract == n, "ttm: factor does not match mode dimension");
+
+  std::vector<idx_t> out_dims = x.dims();
+  out_dims[mode] = result;
+  Tensor<T> y(out_dims);
+
+  const idx_t right = x.right_size(mode);
+
+  if (mode == 0) {
+    // Mode-1 unfolding is column-major in place: one large GEMM.
+    // Y_(1) = op(U)^T_{applied from left}: with op=transpose,
+    // Y_(1) (r x right) = U^T X_(1); with op=none, Y_(1) = U X_(1).
+    la::ConstMatrixRef<T> xm(x.data(), n, right, n);
+    la::MatrixRef<T> ym{y.data(), result, right, result};
+    const la::Op opa =
+        (op == la::Op::transpose) ? la::Op::transpose : la::Op::none;
+    la::gemm(opa, la::Op::none, T{1}, u, xm, T{0}, ym);
+    return y;
+  }
+
+  // General mode: slab-wise GEMM. Each input slab (left x n) maps to an
+  // output slab (left x result): out = in * U (transpose case) or
+  // out = in * U^T (expansion case).
+  for (idx_t s = 0; s < right; ++s) {
+    auto in = x.slab(mode, s);
+    auto out = y.slab(mode, s);
+    if (op == la::Op::transpose) {
+      la::gemm(la::Op::none, la::Op::none, T{1}, in, u, T{0}, out);
+    } else {
+      la::gemm(la::Op::none, la::Op::transpose, T{1}, in, u, T{0}, out);
+    }
+  }
+  return y;
+}
+
+template <typename T>
+Tensor<T> multi_ttm(const Tensor<T>& x,
+                    const std::vector<la::ConstMatrixRef<T>>& factors,
+                    const std::vector<int>& modes, la::Op op) {
+  RAHOOI_REQUIRE(static_cast<int>(factors.size()) == x.ndims(),
+                 "multi_ttm: one factor slot per mode required");
+  if (modes.empty()) return x;
+  Tensor<T> y = ttm(x, modes[0], factors[modes[0]], op);
+  for (std::size_t i = 1; i < modes.size(); ++i) {
+    y = ttm(y, modes[i], factors[modes[i]], op);
+  }
+  return y;
+}
+
+template <typename T>
+Tensor<T> multi_ttm_skip(const Tensor<T>& x,
+                         const std::vector<la::ConstMatrixRef<T>>& factors,
+                         int skip_mode, la::Op op) {
+  std::vector<int> modes;
+  for (int j = 0; j < x.ndims(); ++j) {
+    if (j != skip_mode) modes.push_back(j);
+  }
+  return multi_ttm(x, factors, modes, op);
+}
+
+template <typename T>
+la::Matrix<T> mode_gram(const Tensor<T>& x, int mode) {
+  RAHOOI_REQUIRE(mode >= 0 && mode < x.ndims(), "mode_gram: bad mode");
+  const idx_t n = x.dim(mode);
+  const idx_t left = x.left_size(mode);
+  const idx_t right = x.right_size(mode);
+  la::Matrix<T> g(n, n);
+
+  if (mode == 0) {
+    // Contiguous unfolding: single SYRK.
+    la::ConstMatrixRef<T> xm(x.data(), n, right, n);
+    la::syrk(T{1}, xm, T{0}, g.ref());
+    return g;
+  }
+
+  // Transpose each slab into scratch (n x left) and accumulate SYRKs so the
+  // symmetric half-flop count matches mode 0.
+  la::Matrix<T> scratch(n, left);
+  auto gref = g.ref();
+  for (idx_t s = 0; s < right; ++s) {
+    auto sl = x.slab(mode, s);
+    for (idx_t i = 0; i < n; ++i) {
+      for (idx_t l = 0; l < left; ++l) scratch(i, l) = sl(l, i);
+    }
+    la::syrk(T{1}, scratch.cref(), s == 0 ? T{0} : T{1}, gref);
+  }
+  return g;
+}
+
+template <typename T>
+la::Matrix<T> contract_all_but_one(const Tensor<T>& y, const Tensor<T>& g,
+                                   int mode) {
+  RAHOOI_REQUIRE(y.ndims() == g.ndims(), "contraction: order mismatch");
+  for (int j = 0; j < y.ndims(); ++j) {
+    RAHOOI_REQUIRE(j == mode || y.dim(j) == g.dim(j),
+                   "contraction: non-contracted dimensions must match");
+  }
+  const idx_t n = y.dim(mode);
+  const idx_t r = g.dim(mode);
+  const idx_t right = y.right_size(mode);
+  la::Matrix<T> z(n, r);
+  auto zref = z.ref();
+  // Z = sum over slabs of Yslab^T * Gslab; slabs align because all
+  // non-contracted dimensions agree.
+  for (idx_t s = 0; s < right; ++s) {
+    la::gemm(la::Op::transpose, la::Op::none, T{1}, y.slab(mode, s),
+             g.slab(mode, s), s == 0 ? T{0} : T{1}, zref);
+  }
+  return z;
+}
+
+#define RAHOOI_INSTANTIATE_TTM(T)                                             \
+  template Tensor<T> ttm<T>(const Tensor<T>&, int, la::ConstMatrixRef<T>,     \
+                            la::Op);                                          \
+  template Tensor<T> multi_ttm<T>(const Tensor<T>&,                           \
+                                  const std::vector<la::ConstMatrixRef<T>>&,  \
+                                  const std::vector<int>&, la::Op);           \
+  template Tensor<T> multi_ttm_skip<T>(                                       \
+      const Tensor<T>&, const std::vector<la::ConstMatrixRef<T>>&, int,       \
+      la::Op);                                                                \
+  template la::Matrix<T> mode_gram<T>(const Tensor<T>&, int);                 \
+  template la::Matrix<T> contract_all_but_one<T>(const Tensor<T>&,            \
+                                                 const Tensor<T>&, int);
+
+RAHOOI_INSTANTIATE_TTM(float)
+RAHOOI_INSTANTIATE_TTM(double)
+
+#undef RAHOOI_INSTANTIATE_TTM
+
+}  // namespace rahooi::tensor

@@ -1,0 +1,49 @@
+#pragma once
+// Tensor-times-matrix (TTM), multi-TTM, and unfolding-Gram kernels on local
+// tensors. These are the computational workhorses of every algorithm in the
+// paper; their distributed counterparts in dist/ call these on local blocks.
+
+#include "la/blas.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rahooi::tensor {
+
+/// Y = X x_mode op(U).
+///
+/// With op = transpose and U of shape (dim(mode) x r), computes the
+/// truncation Y = X x_mode U^T whose mode dimension becomes r (the TTM used
+/// throughout STHOSVD/HOOI). With op = none and U of shape (m x dim(mode)),
+/// computes expansion to m (used in reconstruction).
+template <typename T>
+Tensor<T> ttm(const Tensor<T>& x, int mode, la::ConstMatrixRef<T> u,
+              la::Op op = la::Op::transpose);
+
+/// Multi-TTM: applies op(U_j) in every mode j in `modes`, in the given
+/// order. `factors[j]` must have valid shape for each j in `modes`.
+template <typename T>
+Tensor<T> multi_ttm(const Tensor<T>& x,
+                    const std::vector<la::ConstMatrixRef<T>>& factors,
+                    const std::vector<int>& modes,
+                    la::Op op = la::Op::transpose);
+
+/// Multi-TTM in all modes except `skip_mode`, applied in increasing mode
+/// order (the direct HOOI subiteration, Alg. 2 line 5).
+template <typename T>
+Tensor<T> multi_ttm_skip(const Tensor<T>& x,
+                         const std::vector<la::ConstMatrixRef<T>>& factors,
+                         int skip_mode, la::Op op = la::Op::transpose);
+
+/// Gram matrix of the mode-j unfolding: G = X_(j) X_(j)^T, shape
+/// (dim(j) x dim(j)). Uses SYRK-style symmetric accumulation (~size*dim(j)
+/// flops), matching the n^{d+1}/P Gram accounting in the paper's Table 1.
+template <typename T>
+la::Matrix<T> mode_gram(const Tensor<T>& x, int mode);
+
+/// Contraction of two same-shape-except-mode tensors over all modes but
+/// `mode`: Z = Y_(mode) G_(mode)^T, shape (y.dim(mode) x g.dim(mode)).
+/// This is the subspace-iteration kernel of Alg. 5 line 3 (paper §3.4).
+template <typename T>
+la::Matrix<T> contract_all_but_one(const Tensor<T>& y, const Tensor<T>& g,
+                                   int mode);
+
+}  // namespace rahooi::tensor

@@ -1,0 +1,98 @@
+#include "tensor/tucker_tensor.hpp"
+
+#include <cmath>
+
+#include "tensor/ttm.hpp"
+
+namespace rahooi::tensor {
+
+template <typename T>
+std::vector<idx_t> TuckerTensor<T>::full_dims() const {
+  std::vector<idx_t> dims(factors.size());
+  for (std::size_t j = 0; j < factors.size(); ++j) dims[j] = factors[j].rows();
+  return dims;
+}
+
+template <typename T>
+idx_t TuckerTensor<T>::compressed_size() const {
+  idx_t total = core.size();
+  for (const auto& u : factors) total += u.rows() * u.cols();
+  return total;
+}
+
+template <typename T>
+idx_t TuckerTensor<T>::full_size() const { return volume(full_dims()); }
+
+template <typename T>
+double TuckerTensor<T>::compression_ratio() const {
+  return static_cast<double>(full_size()) / compressed_size();
+}
+
+template <typename T>
+Tensor<T> TuckerTensor<T>::reconstruct() const {
+  std::vector<la::ConstMatrixRef<T>> refs;
+  refs.reserve(factors.size());
+  for (const auto& u : factors) refs.push_back(u.cref());
+  std::vector<int> modes(core.ndims());
+  for (int j = 0; j < core.ndims(); ++j) modes[j] = j;
+  return multi_ttm(core, refs, modes, la::Op::none);
+}
+
+template <typename T>
+Tensor<T> TuckerTensor<T>::reconstruct_region(
+    const std::vector<idx_t>& offsets,
+    const std::vector<idx_t>& extents) const {
+  RAHOOI_REQUIRE(static_cast<int>(offsets.size()) == ndims() &&
+                     static_cast<int>(extents.size()) == ndims(),
+                 "reconstruct_region: one (offset, extent) per mode");
+  std::vector<la::ConstMatrixRef<T>> slices;
+  slices.reserve(factors.size());
+  for (int j = 0; j < ndims(); ++j) {
+    RAHOOI_REQUIRE(offsets[j] >= 0 && extents[j] >= 0 &&
+                       offsets[j] + extents[j] <= factors[j].rows(),
+                   "reconstruct_region: region exceeds tensor bounds");
+    slices.push_back(factors[j].cref().block(offsets[j], 0, extents[j],
+                                             factors[j].cols()));
+  }
+  std::vector<int> modes(ndims());
+  for (int j = 0; j < ndims(); ++j) modes[j] = j;
+  return multi_ttm(core, slices, modes, la::Op::none);
+}
+
+template <typename T>
+void TuckerTensor<T>::truncate(const std::vector<idx_t>& new_ranks) {
+  RAHOOI_REQUIRE(static_cast<int>(new_ranks.size()) == ndims(),
+                 "truncate: one rank per mode required");
+  for (int j = 0; j < ndims(); ++j) {
+    RAHOOI_REQUIRE(new_ranks[j] >= 1 && new_ranks[j] <= core.dim(j),
+                   "truncate: new ranks must be in [1, current rank]");
+  }
+  core = core.leading_subtensor(new_ranks);
+  for (int j = 0; j < ndims(); ++j) {
+    factors[j] = factors[j].leading_block(factors[j].rows(), new_ranks[j]);
+  }
+}
+
+template <typename T>
+double relative_error(const Tensor<T>& x, const TuckerTensor<T>& approx) {
+  Tensor<T> xhat = approx.reconstruct();
+  RAHOOI_REQUIRE(xhat.dims() == x.dims(),
+                 "relative_error: reconstruction shape mismatch");
+  double diff = 0.0;
+  for (idx_t i = 0; i < x.size(); ++i) {
+    const double d = static_cast<double>(x[i]) - xhat[i];
+    diff += d * d;
+  }
+  return std::sqrt(diff) / x.norm();
+}
+
+#define RAHOOI_INSTANTIATE_TUCKER(T)   \
+  template struct TuckerTensor<T>;     \
+  template double relative_error<T>(const Tensor<T>&, const TuckerTensor<T>&);
+
+RAHOOI_INSTANTIATE_TUCKER(float)
+RAHOOI_INSTANTIATE_TUCKER(double)
+
+#undef RAHOOI_INSTANTIATE_TUCKER
+
+}  // namespace rahooi::tensor

@@ -1,0 +1,59 @@
+#pragma once
+// Tucker-format tensor: core + factor matrices, with reconstruction,
+// size/compression accounting (the objective of the paper's error-specified
+// formulation, eq. (2)), and leading-subtensor truncation (what the
+// rank-adaptive core analysis applies after solving eq. (3)).
+
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rahooi::tensor {
+
+template <typename T>
+struct TuckerTensor {
+  Tensor<T> core;                     ///< r_1 x ... x r_d
+  std::vector<la::Matrix<T>> factors; ///< factors[j] is n_j x r_j
+
+  int ndims() const { return core.ndims(); }
+
+  /// Tucker ranks (core dimensions).
+  std::vector<idx_t> ranks() const { return core.dims(); }
+
+  /// Original tensor dimensions (factor row counts).
+  std::vector<idx_t> full_dims() const;
+
+  /// Entry count of the Tucker representation: prod r_j + sum n_j r_j —
+  /// the objective of eq. (2)/(3) in the paper.
+  idx_t compressed_size() const;
+
+  /// Entry count of the dense tensor this represents.
+  idx_t full_size() const;
+
+  /// full_size / compressed_size (larger is better).
+  double compression_ratio() const;
+
+  /// Dense reconstruction G x_1 U_1 ... x_d U_d.
+  Tensor<T> reconstruct() const;
+
+  /// Decompresses only the region [offsets[j], offsets[j] + extents[j]) of
+  /// each mode, without materializing the full tensor — the Tucker-format
+  /// advantage the paper's introduction highlights (fast visualization of
+  /// time steps / spatial regions / quantities of interest). Cost is
+  /// proportional to the region size, not the tensor size.
+  Tensor<T> reconstruct_region(const std::vector<idx_t>& offsets,
+                               const std::vector<idx_t>& extents) const;
+
+  /// Truncates to the leading sub-core of dimensions `new_ranks` and the
+  /// matching leading factor columns (paper Alg. 3 line 7). Any leading
+  /// subtensor of the core yields a valid Tucker approximation (§3.2).
+  void truncate(const std::vector<idx_t>& new_ranks);
+};
+
+/// Relative reconstruction error ||X - Xhat|| / ||X|| computed densely
+/// (test/diagnostic helper; production code uses the core-norm identity).
+template <typename T>
+double relative_error(const Tensor<T>& x, const TuckerTensor<T>& approx);
+
+}  // namespace rahooi::tensor

@@ -1,0 +1,178 @@
+// Hardening tests for the message-passing runtime: interleaved tagged
+// point-to-point traffic, zero-length collectives, deep sub-communicator
+// nesting, and mixed collective sequences under contention — the failure
+// modes a transport substitute must not have.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "comm/runtime.hpp"
+#include "common/rng.hpp"
+
+namespace rahooi::comm {
+namespace {
+
+TEST(CommStress, ManyTaggedMessagesMatchBySourceAndTag) {
+  // Each rank sends 20 messages with shuffled tags to every other rank;
+  // receives must match (source, tag) pairs regardless of arrival order.
+  Runtime::run(4, [](Comm& world) {
+    const int p = world.size();
+    const int msgs = 20;
+    for (int dest = 0; dest < p; ++dest) {
+      if (dest == world.rank()) continue;
+      CounterRng rng(100 + world.rank() * 31 + dest);
+      std::vector<int> tags(msgs);
+      std::iota(tags.begin(), tags.end(), 0);
+      // Deterministic shuffle.
+      for (int i = msgs - 1; i > 0; --i) {
+        std::swap(tags[i], tags[static_cast<int>(rng.uniform(i) * (i + 1))]);
+      }
+      for (const int tag : tags) {
+        const double payload = 1000.0 * world.rank() + tag;
+        world.send(&payload, 1, dest, tag);
+      }
+    }
+    for (int src = 0; src < p; ++src) {
+      if (src == world.rank()) continue;
+      for (int tag = 0; tag < msgs; ++tag) {  // in-order receive
+        double payload = -1;
+        world.recv(&payload, 1, src, tag);
+        EXPECT_DOUBLE_EQ(payload, 1000.0 * src + tag);
+      }
+    }
+  });
+}
+
+TEST(CommStress, ZeroLengthCollectivesAreSafe) {
+  Runtime::run(3, [](Comm& world) {
+    std::vector<double> empty;
+    world.bcast(empty.data(), 0, 0);
+    world.allreduce_sum(empty.data(), 0);
+    world.allgatherv(empty.data(), empty.data(),
+                     std::vector<idx_t>(world.size(), 0));
+    std::vector<idx_t> counts(world.size(), 0);
+    world.reduce_scatter_sum(empty.data(), empty.data(), counts);
+    SUCCEED();
+  });
+}
+
+TEST(CommStress, NestedSplitsThreeLevelsDeep) {
+  Runtime::run(8, [](Comm& world) {
+    Comm half = world.split(world.rank() / 4, world.rank());
+    ASSERT_EQ(half.size(), 4);
+    Comm quarter = half.split(half.rank() / 2, half.rank());
+    ASSERT_EQ(quarter.size(), 2);
+    Comm solo = quarter.split(quarter.rank(), 0);
+    ASSERT_EQ(solo.size(), 1);
+    // Collectives at each level stay consistent.
+    double v = 1;
+    half.allreduce_sum(&v, 1);
+    EXPECT_DOUBLE_EQ(v, 4.0);
+    v = 1;
+    quarter.allreduce_sum(&v, 1);
+    EXPECT_DOUBLE_EQ(v, 2.0);
+  });
+}
+
+TEST(CommStress, ConcurrentCollectivesOnSiblingComms) {
+  // Sibling sub-communicators run independent collective sequences; the
+  // slot arrays must not interfere because each child has its own Context.
+  Runtime::run(8, [](Comm& world) {
+    Comm sub = world.split(world.rank() % 2, world.rank());
+    for (int iter = 0; iter < 25; ++iter) {
+      double v = world.rank() + iter;
+      sub.allreduce_sum(&v, 1);
+      double expect = 0;
+      for (int r = world.rank() % 2; r < 8; r += 2) expect += r + iter;
+      EXPECT_DOUBLE_EQ(v, expect);
+    }
+  });
+}
+
+TEST(CommStress, AllreduceIsBitwiseIdenticalAcrossRanks) {
+  // MPI requires every rank to receive the identical allreduce result.
+  // Summands spanning many magnitudes make the sum order-sensitive, so a
+  // per-rank reduction order would be caught here: gather every rank's
+  // result and demand exact equality.
+  Runtime::run(8, [](Comm& world) {
+    const int p = world.size();
+    CounterRng rng(500 + world.rank());
+    std::vector<float> data(64);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<float>(rng.normal(i) *
+                                   std::pow(10.0, world.rank() - 4));
+    }
+    world.allreduce_sum(data.data(), 64);
+    std::vector<float> everyone(64 * p);
+    world.allgather(data.data(), everyone.data(), 64);
+    for (int r = 0; r < p; ++r) {
+      for (int i = 0; i < 64; ++i) {
+        ASSERT_EQ(everyone[r * 64 + i], data[i])
+            << "rank " << r << " diverged at element " << i;
+      }
+    }
+  });
+}
+
+TEST(CommStress, LargePayloadCollective) {
+  Runtime::run(4, [](Comm& world) {
+    const idx_t n = 1 << 18;  // 2 MB of doubles
+    std::vector<double> data(n, 1.0);
+    world.allreduce_sum(data.data(), n);
+    EXPECT_DOUBLE_EQ(data.front(), 4.0);
+    EXPECT_DOUBLE_EQ(data.back(), 4.0);
+  });
+}
+
+TEST(CommStress, AlltoallvWithRaggedCounts) {
+  // Rank s sends s+r+1 elements to rank r; verify the full ragged exchange.
+  Runtime::run(4, [](Comm& world) {
+    const int p = world.size();
+    const int s = world.rank();
+    std::vector<idx_t> sendcounts(p), sdispls(p), recvcounts(p), rdispls(p);
+    idx_t total_send = 0, total_recv = 0;
+    for (int r = 0; r < p; ++r) {
+      sendcounts[r] = s + r + 1;
+      sdispls[r] = total_send;
+      total_send += sendcounts[r];
+      recvcounts[r] = r + s + 1;
+      rdispls[r] = total_recv;
+      total_recv += recvcounts[r];
+    }
+    std::vector<double> send(total_send);
+    for (int r = 0; r < p; ++r) {
+      for (idx_t i = 0; i < sendcounts[r]; ++i) {
+        send[sdispls[r] + i] = 100.0 * s + 10.0 * r + i;
+      }
+    }
+    std::vector<double> recv(total_recv, -1);
+    world.alltoallv(send.data(), sdispls, recv.data(), recvcounts, rdispls);
+    for (int src = 0; src < p; ++src) {
+      for (idx_t i = 0; i < recvcounts[src]; ++i) {
+        EXPECT_DOUBLE_EQ(recv[rdispls[src] + i], 100.0 * src + 10.0 * s + i);
+      }
+    }
+  });
+}
+
+TEST(CommStress, SixteenRanksFullSequence) {
+  // The largest rank count the benches use, running a mixed collective
+  // sequence repeatedly.
+  Runtime::run(16, [](Comm& world) {
+    for (int iter = 0; iter < 10; ++iter) {
+      double v = 1;
+      world.allreduce_sum(&v, 1);
+      EXPECT_DOUBLE_EQ(v, 16.0);
+      std::vector<int> g(16);
+      int mine = world.rank() * iter;
+      world.allgather(&mine, g.data(), 1);
+      for (int r = 0; r < 16; ++r) EXPECT_EQ(g[r], r * iter);
+      world.barrier();
+    }
+  });
+}
+
+}  // namespace
+}  // namespace rahooi::comm

@@ -1,0 +1,164 @@
+#include "data/science.hpp"
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/runtime.hpp"
+#include "core/sthosvd.hpp"
+#include "la/svd.hpp"
+#include "tensor/ttm.hpp"
+
+namespace rahooi::data {
+namespace {
+
+TEST(SyntheticTucker, SerialIsDeterministic) {
+  auto a = synthetic_tucker_serial<double>({8, 7, 6}, {2, 2, 2}, 1e-3, 5);
+  auto b = synthetic_tucker_serial<double>({8, 7, 6}, {2, 2, 2}, 1e-3, 5);
+  for (idx_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  auto c = synthetic_tucker_serial<double>({8, 7, 6}, {2, 2, 2}, 1e-3, 6);
+  double diff = 0;
+  for (idx_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - c[i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(SyntheticTucker, DistributedMatchesSerialBitExact) {
+  const std::vector<idx_t> dims = {9, 8, 7};
+  auto serial = synthetic_tucker_serial<double>(dims, {3, 3, 3}, 1e-4, 11);
+  for (const std::vector<int>& gdims :
+       {std::vector<int>{2, 2, 1}, {1, 1, 4}, {4, 1, 1}}) {
+    comm::Runtime::run(4, [&](comm::Comm& world) {
+      dist::ProcessorGrid grid(world, gdims);
+      auto x = synthetic_tucker<double>(grid, dims, {3, 3, 3}, 1e-4, 11);
+      auto full = x.allgather_full();
+      for (idx_t i = 0; i < full.size(); ++i) {
+        EXPECT_EQ(full[i], serial[i]);
+      }
+    });
+  }
+}
+
+TEST(SyntheticTucker, NoiseLevelControlsRelativeResidual) {
+  // At noise level eta, the best rank-r approximation should leave a
+  // relative error close to eta (within statistical slack).
+  const double eta = 0.01;
+  auto x = synthetic_tucker_serial<double>({16, 14, 12}, {3, 3, 3}, eta, 12);
+  comm::Runtime::run(2, [&](comm::Comm& world) {
+    dist::ProcessorGrid grid(world, {2, 1, 1});
+    auto xd = dist::DistTensor<double>::generate(
+        grid, x.dims(),
+        [&x](const std::vector<idx_t>& g) { return x.at(g); });
+    auto res = core::sthosvd_fixed_rank(xd, {3, 3, 3});
+    EXPECT_NEAR(res.relative_error(), eta, 0.5 * eta);
+  });
+}
+
+TEST(SyntheticTucker, ZeroNoiseIsExactlyLowRank) {
+  auto x = synthetic_tucker_serial<double>({10, 9, 8}, {2, 2, 2}, 0.0, 13);
+  auto svd = la::svd_jacobi<double>(tensor::unfold(x, 0).cref());
+  EXPECT_GT(svd.singular[1], 1e-6);
+  EXPECT_LT(svd.singular[2], 1e-10 * svd.singular[0]);
+}
+
+TEST(SyntheticTucker, FourWaySingle) {
+  comm::Runtime::run(2, [&](comm::Comm& world) {
+    dist::ProcessorGrid grid(world, {1, 2, 1, 1});
+    auto x = synthetic_tucker<float>(grid, {6, 6, 6, 6}, {2, 2, 2, 2},
+                                     1e-4f, 14);
+    EXPECT_EQ(x.global_dims(), (std::vector<idx_t>{6, 6, 6, 6}));
+    EXPECT_GT(x.norm_squared(), 0.0);
+  });
+}
+
+TEST(MirandaLike, GridInvariantGeneration) {
+  auto serial = miranda_like_serial<float>(12);
+  comm::Runtime::run(4, [&](comm::Comm& world) {
+    dist::ProcessorGrid grid(world, {1, 2, 2});
+    auto x = miranda_like<float>(grid, 12);
+    auto full = x.allgather_full();
+    for (idx_t i = 0; i < full.size(); ++i) {
+      EXPECT_EQ(full[i], serial[i]);
+    }
+  });
+}
+
+TEST(MirandaLike, IsHighlyCompressible) {
+  // The defining trait of the Miranda regime: large n/r at loose
+  // tolerances. At eps = 0.1 the Tucker ranks collapse far below n.
+  comm::Runtime::run(2, [](comm::Comm& world) {
+    dist::ProcessorGrid grid(world, {1, 2, 1});
+    auto x = miranda_like<float>(grid, 24);
+    auto res = core::sthosvd(x, 0.1);
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_LE(res.ranks()[j], 24 / 3) << "mode " << j;
+    }
+    EXPECT_LE(res.relative_error(), 0.1);
+  });
+}
+
+TEST(MirandaLike, SpectraDecayMonotonically) {
+  auto x = miranda_like_serial<double>(16);
+  auto svd = la::svd_jacobi<double>(tensor::unfold(x, 2).cref());
+  // Energy concentrates in few components.
+  double total = 0, top4 = 0;
+  for (std::size_t i = 0; i < svd.singular.size(); ++i) {
+    const double e = svd.singular[i] * svd.singular[i];
+    total += e;
+    if (i < 4) top4 += e;
+  }
+  EXPECT_GT(top4 / total, 0.99);
+}
+
+TEST(HcciLike, ShapeAndCompressibility) {
+  comm::Runtime::run(4, [](comm::Comm& world) {
+    dist::ProcessorGrid grid(world, {2, 2, 1, 1});
+    auto x = hcci_like<double>(grid, 16, 16, 6, 10);
+    EXPECT_EQ(x.global_dims(), (std::vector<idx_t>{16, 16, 6, 10}));
+    auto res = core::sthosvd(x, 0.05);
+    EXPECT_LE(res.relative_error(), 0.05);
+    EXPECT_GT(res.compression_ratio(), 2.0);
+  });
+}
+
+TEST(HcciLike, VariableModeHasDecayingEnergy) {
+  comm::Runtime::run(1, [](comm::Comm& world) {
+    dist::ProcessorGrid grid(world, {1, 1, 1, 1});
+    auto x = hcci_like<double>(grid, 12, 12, 8, 8);
+    // Variable v's slab energy decreases with v (exp(-0.35 v) weighting).
+    auto full = x.allgather_full();
+    std::vector<double> energy(8, 0.0);
+    std::vector<idx_t> g(4, 0);
+    for (idx_t lin = 0; lin < full.size(); ++lin) {
+      energy[g[2]] += full[lin] * full[lin];
+      for (int j = 0; j < 4; ++j) {
+        if (++g[j] < full.dim(j)) break;
+        g[j] = 0;
+      }
+    }
+    EXPECT_GT(energy[0], energy[4]);
+    EXPECT_GT(energy[4], energy[7]);
+  });
+}
+
+TEST(SpLike, FiveWayShapeAndDecomposition) {
+  comm::Runtime::run(4, [](comm::Comm& world) {
+    dist::ProcessorGrid grid(world, {2, 2, 1, 1, 1});
+    auto x = sp_like<double>(grid, 10, 10, 10, 4, 6);
+    EXPECT_EQ(x.ndims(), 5);
+    auto res = core::sthosvd(x, 0.1);
+    EXPECT_LE(res.relative_error(), 0.1);
+    EXPECT_GT(res.compression_ratio(), 4.0);
+  });
+}
+
+TEST(ScienceData, DifferentSeedsDiffer) {
+  auto a = miranda_like_serial<double>(8, 1);
+  auto b = miranda_like_serial<double>(8, 2);
+  double diff = 0;
+  for (idx_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+  EXPECT_GT(diff, 1e-3);
+}
+
+}  // namespace
+}  // namespace rahooi::data

@@ -1,0 +1,127 @@
+#include "core/dimension_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace rahooi::core {
+namespace {
+
+TEST(DimensionTree, LeafOrderIsAscendingModes) {
+  for (int d = 1; d <= 8; ++d) {
+    auto tree = build_dimension_tree(d);
+    std::vector<int> expect(d);
+    for (int j = 0; j < d; ++j) expect[j] = j;
+    EXPECT_EQ(tree.leaf_order(), expect) << "d=" << d;
+  }
+}
+
+TEST(DimensionTree, RootHoldsAllModes) {
+  auto tree = build_dimension_tree(5);
+  EXPECT_EQ(tree.nodes[0].modes, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(tree.nodes[0].ttm_modes.empty());
+}
+
+TEST(DimensionTree, ChildrenPartitionParentModes) {
+  auto tree = build_dimension_tree(6);
+  for (const auto& node : tree.nodes) {
+    if (node.is_leaf()) continue;
+    std::vector<int> merged = tree.nodes[node.left_child].modes;
+    const auto& right = tree.nodes[node.right_child].modes;
+    merged.insert(merged.end(), right.begin(), right.end());
+    std::sort(merged.begin(), merged.end());
+    std::vector<int> parent = node.modes;
+    std::sort(parent.begin(), parent.end());
+    EXPECT_EQ(merged, parent);
+  }
+}
+
+TEST(DimensionTree, EdgeTtmsAreTheSiblingModes) {
+  // The TTMs applied on the edge into a child are exactly the modes kept by
+  // the sibling (you multiply away what the sibling will update later).
+  auto tree = build_dimension_tree(6);
+  for (const auto& node : tree.nodes) {
+    if (node.is_leaf()) continue;
+    std::vector<int> lt = tree.nodes[node.left_child].ttm_modes;
+    std::vector<int> rm = tree.nodes[node.right_child].modes;
+    std::sort(lt.begin(), lt.end());
+    std::sort(rm.begin(), rm.end());
+    EXPECT_EQ(lt, rm);
+    std::vector<int> rt = tree.nodes[node.right_child].ttm_modes;
+    std::vector<int> lm = tree.nodes[node.left_child].modes;
+    std::sort(rt.begin(), rt.end());
+    std::sort(lm.begin(), lm.end());
+    EXPECT_EQ(rt, lm);
+  }
+}
+
+TEST(DimensionTree, LeftEdgeTtmsAreDescending) {
+  // Paper §3.3: the eta-half TTMs run in reverse (mode d first) because the
+  // last-mode TTM is a single large GEMM in this layout.
+  auto tree = build_dimension_tree(6);
+  const auto& root = tree.nodes[0];
+  const auto& left_edge = tree.nodes[root.left_child].ttm_modes;
+  EXPECT_EQ(left_edge, (std::vector<int>{5, 4, 3}));
+  const auto& right_edge = tree.nodes[root.right_child].ttm_modes;
+  EXPECT_EQ(right_edge, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(DimensionTree, TtmCountMatchesRecurrence) {
+  // T(1) = 0; T(d) = d + T(floor(d/2)) + T(ceil(d/2)): each internal node
+  // applies |sibling| TTMs per child, totalling |modes| per node.
+  auto count = [](int d) {
+    auto rec = [](auto&& self, int n) -> int {
+      if (n <= 1) return 0;
+      return n + self(self, n / 2) + self(self, n - n / 2);
+    };
+    return rec(rec, d);
+  };
+  for (int d = 1; d <= 8; ++d) {
+    EXPECT_EQ(build_dimension_tree(d).ttm_count(), count(d)) << "d=" << d;
+  }
+}
+
+TEST(DimensionTree, TtmCountBeatsDirectSweepForLargeD) {
+  // Direct HOOI does d*(d-1) TTMs per sweep; the tree does O(d log d).
+  for (int d = 3; d <= 8; ++d) {
+    EXPECT_LT(build_dimension_tree(d).ttm_count(), d * (d - 1)) << d;
+  }
+}
+
+TEST(DimensionTree, Order6MatchesPaperFigure1Shape) {
+  // Order-6 tree: root {1..6}, children {1,2,3} and {4,5,6}, then pairs and
+  // leaves — 16 TTM notches in total.
+  auto tree = build_dimension_tree(6);
+  const auto& root = tree.nodes[0];
+  EXPECT_EQ(tree.nodes[root.left_child].modes, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(tree.nodes[root.right_child].modes, (std::vector<int>{3, 4, 5}));
+  EXPECT_EQ(tree.ttm_count(), 16);
+  // 6 leaves, one per mode.
+  int leaves = 0;
+  for (const auto& n : tree.nodes) leaves += n.is_leaf();
+  EXPECT_EQ(leaves, 6);
+}
+
+TEST(DimensionTree, SingleModeTree) {
+  auto tree = build_dimension_tree(1);
+  EXPECT_EQ(tree.nodes.size(), 1u);
+  EXPECT_TRUE(tree.nodes[0].is_leaf());
+  EXPECT_EQ(tree.ttm_count(), 0);
+}
+
+TEST(DimensionTree, RejectsZeroModes) {
+  EXPECT_THROW(build_dimension_tree(0), precondition_error);
+}
+
+TEST(DimensionTree, RenderingMentionsEveryLeaf) {
+  auto tree = build_dimension_tree(4);
+  const std::string s = tree.to_string();
+  for (int j = 1; j <= 4; ++j) {
+    EXPECT_NE(s.find("LLSV mode " + std::to_string(j)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace rahooi::core

@@ -1,0 +1,159 @@
+#include "la/eig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/qr.hpp"
+#include "test_util.hpp"
+
+namespace rahooi::la {
+namespace {
+
+using testutil::random_matrix;
+
+template <typename T>
+Matrix<T> random_symmetric(idx_t n, std::uint64_t seed) {
+  auto a = random_matrix<T>(n, n, seed);
+  Matrix<T> s(n, n);
+  for (idx_t j = 0; j < n; ++j) {
+    for (idx_t i = 0; i < n; ++i) {
+      s(i, j) = static_cast<T>(0.5 * (a(i, j) + a(j, i)));
+    }
+  }
+  return s;
+}
+
+template <typename T>
+class EigTyped : public ::testing::Test {};
+
+using Scalars = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(EigTyped, Scalars);
+
+TYPED_TEST(EigTyped, ReconstructsSymmetricMatrix) {
+  using T = TypeParam;
+  auto a = random_symmetric<T>(12, 200);
+  auto evd = sym_evd<T>(a.cref());
+  // A = V diag(d) V^T
+  Matrix<T> vd(12, 12);
+  for (idx_t j = 0; j < 12; ++j) {
+    for (idx_t i = 0; i < 12; ++i) {
+      vd(i, j) = static_cast<T>(evd.vectors(i, j) * evd.eigenvalues[j]);
+    }
+  }
+  auto rec = matmul<T>(Op::none, Op::transpose, vd, evd.vectors);
+  EXPECT_LT(max_abs_diff<T>(rec, a), 100 * testutil::type_tol<T>());
+}
+
+TYPED_TEST(EigTyped, EigenvectorsAreOrthonormal) {
+  using T = TypeParam;
+  auto a = random_symmetric<T>(20, 201);
+  auto evd = sym_evd<T>(a.cref());
+  EXPECT_LT(orthogonality_error<T>(evd.vectors),
+            100 * testutil::type_tol<T>());
+}
+
+TYPED_TEST(EigTyped, EigenvaluesDescending) {
+  using T = TypeParam;
+  auto a = random_symmetric<T>(15, 202);
+  auto evd = sym_evd<T>(a.cref());
+  for (std::size_t i = 0; i + 1 < evd.eigenvalues.size(); ++i) {
+    EXPECT_GE(evd.eigenvalues[i], evd.eigenvalues[i + 1]);
+  }
+}
+
+TYPED_TEST(EigTyped, DiagonalMatrixEigenvaluesExact) {
+  using T = TypeParam;
+  Matrix<T> a(4, 4);
+  a(0, 0) = 3;
+  a(1, 1) = -1;
+  a(2, 2) = 7;
+  a(3, 3) = 0;
+  auto evd = sym_evd<T>(a.cref());
+  EXPECT_NEAR(evd.eigenvalues[0], 7.0, 1e-6);
+  EXPECT_NEAR(evd.eigenvalues[1], 3.0, 1e-6);
+  EXPECT_NEAR(evd.eigenvalues[2], 0.0, 1e-6);
+  EXPECT_NEAR(evd.eigenvalues[3], -1.0, 1e-6);
+}
+
+TYPED_TEST(EigTyped, GramMatrixEigenvaluesAreSquaredSingularValues) {
+  using T = TypeParam;
+  // Known construction: A = U diag(s) V^T with orthonormal U, V.
+  auto u = orthonormalize<T>(random_matrix<T>(10, 4, 203));
+  auto v = orthonormalize<T>(random_matrix<T>(8, 4, 204));
+  const double sv[4] = {5.0, 2.0, 1.0, 0.25};
+  Matrix<T> us(10, 4);
+  for (idx_t j = 0; j < 4; ++j) {
+    for (idx_t i = 0; i < 10; ++i) {
+      us(i, j) = static_cast<T>(u(i, j) * sv[j]);
+    }
+  }
+  auto a = matmul<T>(Op::none, Op::transpose, us, v);  // 10 x 8
+  Matrix<T> gram(10, 10);
+  syrk<T>(T{1}, a.cref(), T{0}, gram.ref());
+  auto evd = sym_evd<T>(gram.cref());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(evd.eigenvalues[i], sv[i] * sv[i],
+                2e3 * testutil::type_tol<T>());
+  }
+  for (std::size_t i = 4; i < 10; ++i) {
+    EXPECT_NEAR(evd.eigenvalues[i], 0.0, 2e3 * testutil::type_tol<T>());
+  }
+}
+
+TEST(Eig, OneByOne) {
+  Matrix<double> a(1, 1);
+  a(0, 0) = -2.5;
+  auto evd = sym_evd<double>(a.cref());
+  EXPECT_DOUBLE_EQ(evd.eigenvalues[0], -2.5);
+  EXPECT_DOUBLE_EQ(evd.vectors(0, 0), 1.0);
+}
+
+TEST(Eig, TwoByTwoKnownEigenvalues) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  Matrix<double> a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 2;
+  auto evd = sym_evd<double>(a.cref());
+  EXPECT_NEAR(evd.eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(evd.eigenvalues[1], 1.0, 1e-12);
+}
+
+TEST(Eig, RejectsNonSquare) {
+  Matrix<double> a(3, 4);
+  EXPECT_THROW(sym_evd<double>(a.cref()), precondition_error);
+}
+
+TEST(Eig, LargeMatrixStillAccurate) {
+  auto a = random_symmetric<double>(100, 205);
+  auto evd = sym_evd<double>(a.cref());
+  EXPECT_LT(orthogonality_error<double>(evd.vectors), 1e-9);
+  // Trace is preserved.
+  double trace = 0, sum = 0;
+  for (idx_t i = 0; i < 100; ++i) {
+    trace += a(i, i);
+    sum += evd.eigenvalues[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-8);
+}
+
+TEST(Eig, RepeatedEigenvaluesHandled) {
+  // Identity: all eigenvalues 1, any orthonormal basis acceptable.
+  auto a = Matrix<double>::identity(8);
+  auto evd = sym_evd<double>(a.cref());
+  for (double ev : evd.eigenvalues) EXPECT_NEAR(ev, 1.0, 1e-12);
+  EXPECT_LT(orthogonality_error<double>(evd.vectors), 1e-12);
+}
+
+TEST(Eig, ZeroMatrix) {
+  Matrix<double> a(5, 5);
+  auto evd = sym_evd<double>(a.cref());
+  for (double ev : evd.eigenvalues) EXPECT_EQ(ev, 0.0);
+  EXPECT_LT(orthogonality_error<double>(evd.vectors), 1e-12);
+}
+
+}  // namespace
+}  // namespace rahooi::la

@@ -1,0 +1,181 @@
+// End-to-end integration tests across the full stack: dataset generation ->
+// distributed decomposition -> rank adaptation -> gather -> file round-trip
+// -> partial decompression, swept over tensor orders, precisions, and
+// processor grids (parameterized property style).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "comm/runtime.hpp"
+#include "core/rank_adaptive.hpp"
+#include "core/serial_api.hpp"
+#include "data/science.hpp"
+#include "data/synthetic.hpp"
+#include "io/param_file.hpp"
+#include "io/tensor_io.hpp"
+#include "tensor/ttm.hpp"
+
+namespace rahooi {
+namespace {
+
+using la::idx_t;
+
+struct PipelineCase {
+  std::vector<idx_t> dims;
+  std::vector<idx_t> true_ranks;
+  std::vector<int> grid;
+  double eps;
+};
+
+class PipelineSweep : public ::testing::TestWithParam<PipelineCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    OrdersAndGrids, PipelineSweep,
+    ::testing::Values(
+        PipelineCase{{12, 10, 8}, {3, 3, 3}, {1, 2, 2}, 0.1},
+        PipelineCase{{12, 10, 8}, {3, 3, 3}, {4, 1, 1}, 0.05},
+        PipelineCase{{16, 8, 8}, {2, 2, 2}, {1, 1, 1}, 0.1},
+        PipelineCase{{8, 7, 6, 5}, {2, 2, 2, 2}, {1, 2, 2, 1}, 0.1},
+        PipelineCase{{6, 6, 5, 4, 4}, {2, 2, 2, 2, 2}, {1, 2, 1, 1, 2},
+                     0.1}));
+
+TEST_P(PipelineSweep, CompressWriteReadDecompress) {
+  const PipelineCase c = GetParam();
+  int p = 1;
+  for (const int g : c.grid) p *= g;
+
+  const std::string path = testing::TempDir() + "/rahooi_pipeline.rhk";
+  tensor::Tensor<double> reference =
+      data::synthetic_tucker_serial<double>(c.dims, c.true_ranks, 0.01, 99);
+
+  comm::Runtime::run(p, [&](comm::Comm& world) {
+    dist::ProcessorGrid grid(world, c.grid);
+    auto x = data::synthetic_tucker<double>(grid, c.dims, c.true_ranks,
+                                            0.01, 99);
+    core::RankAdaptiveOptions opt;
+    opt.tolerance = c.eps;
+    std::vector<idx_t> start(c.dims.size());
+    for (std::size_t j = 0; j < start.size(); ++j) {
+      start[j] = std::min<idx_t>(c.dims[j], c.true_ranks[j] + 1);
+    }
+    auto ra = core::rank_adaptive_hooi(x, start, opt);
+    EXPECT_TRUE(ra.satisfied);
+    EXPECT_LE(ra.rel_error, c.eps + 1e-9);
+    if (world.rank() == 0) io::write_tucker(ra.tucker, path);
+  });
+
+  // Read back on the "host" and verify against the serially generated
+  // reference tensor: error bound and partial decompression consistency.
+  auto t = io::read_tucker<double>(path);
+  EXPECT_EQ(t.full_dims(), c.dims);
+  EXPECT_LE(tensor::relative_error(reference, t), c.eps * 1.05);
+
+  std::vector<idx_t> offsets(c.dims.size(), 1);
+  std::vector<idx_t> extents(c.dims.size());
+  for (std::size_t j = 0; j < c.dims.size(); ++j) {
+    extents[j] = c.dims[j] - 2;
+  }
+  auto region = t.reconstruct_region(offsets, extents);
+  auto full = t.reconstruct();
+  std::vector<idx_t> idx(c.dims.size(), 0), gidx(c.dims.size());
+  for (idx_t lin = 0; lin < region.size(); ++lin) {
+    for (std::size_t j = 0; j < gidx.size(); ++j) {
+      gidx[j] = offsets[j] + idx[j];
+    }
+    EXPECT_NEAR(region[lin], full.at(gidx), 1e-10);
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      if (++idx[j] < extents[j]) break;
+      idx[j] = 0;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Integration, ParameterFileDrivesEndToEnd) {
+  // A parameter file like the artifact's selects variant + problem; verify
+  // a config parsed from text produces a working decomposition through the
+  // same option mapping the drivers use.
+  const auto pf = io::ParamFile::parse(R"(
+SVD Method = 2
+Dimension Tree Memoization = true
+HOOI max iters = 2
+Global dims = 12 10 8
+Decomposition Ranks = 3 3 3
+Noise = 0.001
+)");
+  core::HooiOptions o;
+  o.svd_method =
+      static_cast<core::SvdMethod>(pf.get_int("SVD Method", 0));
+  o.use_dimension_tree = pf.get_bool("Dimension Tree Memoization", false);
+  o.max_iters = static_cast<int>(pf.get_int("HOOI max iters", 2));
+  EXPECT_EQ(core::variant_name(o), "HOSI-DT");
+
+  auto x = data::synthetic_tucker_serial<double>(
+      pf.get_dims("Global dims"), pf.get_dims("Decomposition Ranks"),
+      pf.get_double("Noise", 0), 3);
+  auto res = core::hooi_serial(x, pf.get_dims("Decomposition Ranks"), o);
+  EXPECT_LT(res.rel_error, 0.01);
+}
+
+TEST(Integration, AllFiveVariantsAgreeOnError) {
+  // The paper's premise in one test: on a well-conditioned problem every
+  // variant (direct/tree x gram/SI/randomized, plus STHOSVD) lands on the
+  // same approximation error.
+  auto x = data::synthetic_tucker_serial<double>({14, 12, 10}, {3, 3, 3},
+                                                 0.05, 7);
+  const auto st = core::sthosvd_serial_fixed_rank(x, {3, 3, 3});
+  for (const auto svd :
+       {core::SvdMethod::gram_evd, core::SvdMethod::subspace_iteration,
+        core::SvdMethod::randomized}) {
+    for (const bool tree : {false, true}) {
+      core::HooiOptions o;
+      o.svd_method = svd;
+      o.use_dimension_tree = tree;
+      o.max_iters = 2;
+      auto res = core::hooi_serial(x, {3, 3, 3}, o);
+      EXPECT_NEAR(res.rel_error, st.rel_error, 2e-3)
+          << core::variant_name(o);
+    }
+  }
+}
+
+TEST(Integration, ScienceDatasetsRoundTripThroughRankAdaptive) {
+  comm::Runtime::run(4, [](comm::Comm& world) {
+    dist::ProcessorGrid grid(world, {1, 2, 2});
+    auto x = data::miranda_like<float>(grid, 24);
+    core::RankAdaptiveOptions opt;
+    opt.tolerance = 0.05;
+    auto ra = core::rank_adaptive_hooi(x, {4, 4, 4}, opt);
+    EXPECT_TRUE(ra.satisfied);
+    // Verify the reported error against a dense check of the gathered data.
+    auto full = x.allgather_full();
+    EXPECT_NEAR(tensor::relative_error(full, ra.tucker), ra.rel_error, 5e-3);
+  });
+}
+
+TEST(Integration, RepeatedRunsAreBitReproducible) {
+  // The whole pipeline is deterministic: same seed, same grid -> identical
+  // factors and core, run to run.
+  auto run_once = [] {
+    auto x = data::synthetic_tucker_serial<double>({10, 9, 8}, {2, 2, 2},
+                                                   0.02, 5);
+    core::HooiOptions o;
+    o.svd_method = core::SvdMethod::subspace_iteration;
+    o.use_dimension_tree = true;
+    return core::hooi_serial(x, {2, 2, 2}, o);
+  };
+  auto a = run_once();
+  auto b = run_once();
+  for (idx_t i = 0; i < a.tucker.core.size(); ++i) {
+    EXPECT_EQ(a.tucker.core[i], b.tucker.core[i]);
+  }
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_EQ(la::max_abs_diff<double>(a.tucker.factors[j],
+                                       b.tucker.factors[j]),
+              0.0);
+  }
+}
+
+}  // namespace
+}  // namespace rahooi

@@ -1,0 +1,101 @@
+#include "la/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace rahooi::la {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix<double> m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_EQ(m.size(), 0);
+}
+
+TEST(Matrix, ConstructZeroInitializes) {
+  Matrix<double> m(3, 4);
+  for (idx_t j = 0; j < 4; ++j) {
+    for (idx_t i = 0; i < 3; ++i) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(Matrix, ColumnMajorLayout) {
+  Matrix<double> m(2, 3);
+  m(0, 0) = 1;
+  m(1, 0) = 2;
+  m(0, 1) = 3;
+  EXPECT_EQ(m.data()[0], 1.0);
+  EXPECT_EQ(m.data()[1], 2.0);
+  EXPECT_EQ(m.data()[2], 3.0);
+}
+
+TEST(Matrix, RejectsNegativeDims) {
+  EXPECT_THROW(Matrix<double>(-1, 2), precondition_error);
+}
+
+TEST(Matrix, IdentityHasOnesOnDiagonal) {
+  auto eye = Matrix<float>::identity(4);
+  for (idx_t j = 0; j < 4; ++j) {
+    for (idx_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(eye(i, j), i == j ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(Matrix, RefSharesStorage) {
+  Matrix<double> m(3, 3);
+  MatrixRef<double> r = m.ref();
+  r(1, 2) = 7.0;
+  EXPECT_EQ(m(1, 2), 7.0);
+  EXPECT_EQ(r.ld, 3);
+}
+
+TEST(Matrix, ConstRefConversionFromRef) {
+  Matrix<double> m(2, 2);
+  m(0, 1) = 5.0;
+  ConstMatrixRef<double> c = m.ref();
+  EXPECT_EQ(c(0, 1), 5.0);
+}
+
+TEST(Matrix, BlockViewAddressesSubmatrix) {
+  Matrix<double> m(4, 4);
+  for (idx_t j = 0; j < 4; ++j) {
+    for (idx_t i = 0; i < 4; ++i) m(i, j) = static_cast<double>(10 * i + j);
+  }
+  auto b = m.cref().block(1, 2, 2, 2);
+  EXPECT_EQ(b.rows, 2);
+  EXPECT_EQ(b.cols, 2);
+  EXPECT_EQ(b(0, 0), 12.0);
+  EXPECT_EQ(b(1, 1), 23.0);
+  EXPECT_EQ(b.ld, 4);
+}
+
+TEST(Matrix, LeadingBlockCopies) {
+  Matrix<double> m(3, 3);
+  m(0, 0) = 1;
+  m(2, 2) = 9;
+  m(1, 0) = 4;
+  Matrix<double> b = m.leading_block(2, 2);
+  EXPECT_EQ(b.rows(), 2);
+  EXPECT_EQ(b(0, 0), 1.0);
+  EXPECT_EQ(b(1, 0), 4.0);
+  b(0, 0) = 99;  // copy, not a view
+  EXPECT_EQ(m(0, 0), 1.0);
+}
+
+TEST(Matrix, LeadingBlockRejectsOverflow) {
+  Matrix<double> m(2, 2);
+  EXPECT_THROW(m.leading_block(3, 1), precondition_error);
+}
+
+TEST(Matrix, ColPointerArithmetic) {
+  Matrix<double> m(3, 2);
+  m(0, 1) = 42.0;
+  EXPECT_EQ(m.ref().col(1)[0], 42.0);
+  EXPECT_EQ(m.cref().col(1)[0], 42.0);
+}
+
+}  // namespace
+}  // namespace rahooi::la

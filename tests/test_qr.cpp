@@ -1,0 +1,158 @@
+#include "la/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "test_util.hpp"
+
+namespace rahooi::la {
+namespace {
+
+using testutil::random_matrix;
+
+template <typename T>
+class QrTyped : public ::testing::Test {};
+
+using Scalars = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(QrTyped, Scalars);
+
+TYPED_TEST(QrTyped, ThinQrReconstructs) {
+  using T = TypeParam;
+  auto a = random_matrix<T>(12, 5, 100);
+  auto [q, r] = qr_thin<T>(a);
+  auto qr = matmul<T>(Op::none, Op::none, q, r);
+  EXPECT_LT(max_abs_diff<T>(qr, a), 20 * testutil::type_tol<T>());
+}
+
+TYPED_TEST(QrTyped, ThinQrQIsOrthonormal) {
+  using T = TypeParam;
+  auto a = random_matrix<T>(20, 7, 101);
+  auto [q, r] = qr_thin<T>(a);
+  EXPECT_EQ(q.rows(), 20);
+  EXPECT_EQ(q.cols(), 7);
+  EXPECT_LT(orthogonality_error<T>(q), 20 * testutil::type_tol<T>());
+}
+
+TYPED_TEST(QrTyped, ThinQrRIsUpperTriangular) {
+  using T = TypeParam;
+  auto a = random_matrix<T>(9, 6, 102);
+  auto [q, r] = qr_thin<T>(a);
+  for (idx_t j = 0; j < r.cols(); ++j) {
+    for (idx_t i = j + 1; i < r.rows(); ++i) {
+      EXPECT_EQ(r(i, j), T{0});
+    }
+  }
+}
+
+TYPED_TEST(QrTyped, SquareQrWorks) {
+  using T = TypeParam;
+  auto a = random_matrix<T>(8, 8, 103);
+  auto [q, r] = qr_thin<T>(a);
+  auto qr = matmul<T>(Op::none, Op::none, q, r);
+  EXPECT_LT(max_abs_diff<T>(qr, a), 30 * testutil::type_tol<T>());
+}
+
+TYPED_TEST(QrTyped, QrcpReconstructsWithPermutation) {
+  using T = TypeParam;
+  auto a = random_matrix<T>(10, 6, 104);
+  auto res = qrcp<T>(a);
+  auto qr = matmul<T>(Op::none, Op::none, res.q, res.r);
+  // qr should equal A(:, perm).
+  for (idx_t j = 0; j < 6; ++j) {
+    for (idx_t i = 0; i < 10; ++i) {
+      EXPECT_NEAR(qr(i, j), a(i, res.perm[j]), 30 * testutil::type_tol<T>());
+    }
+  }
+}
+
+TYPED_TEST(QrTyped, QrcpDiagonalIsDecreasing) {
+  using T = TypeParam;
+  auto a = random_matrix<T>(15, 8, 105);
+  auto res = qrcp<T>(a);
+  for (idx_t i = 0; i + 1 < res.r.rows(); ++i) {
+    EXPECT_GE(std::abs(static_cast<double>(res.r(i, i))) + 1e-12,
+              std::abs(static_cast<double>(res.r(i + 1, i + 1))));
+  }
+}
+
+TYPED_TEST(QrTyped, QrcpQIsOrthonormalEvenWhenRankDeficient) {
+  using T = TypeParam;
+  // Build a rank-2 matrix (10 x 5) and ask for all 5 Q columns.
+  auto b = random_matrix<T>(10, 2, 106);
+  auto c = random_matrix<T>(2, 5, 107);
+  auto a = matmul<T>(Op::none, Op::none, b, c);
+  auto res = qrcp<T>(a);
+  EXPECT_EQ(res.q.cols(), 5);
+  EXPECT_LT(orthogonality_error<T>(res.q), 100 * testutil::type_tol<T>());
+  // Trailing R diagonal should collapse to ~0 for a rank-2 matrix.
+  EXPECT_LT(std::abs(static_cast<double>(res.r(2, 2))),
+            1e3 * testutil::type_tol<T>() *
+                std::abs(static_cast<double>(res.r(0, 0))));
+}
+
+TYPED_TEST(QrTyped, QrcpFirstPivotIsLargestColumn) {
+  using T = TypeParam;
+  Matrix<T> a(4, 3);
+  a(0, 0) = 1;           // col 0 norm 1
+  a(1, 1) = 10;          // col 1 norm 10 -> must be pivoted first
+  a(2, 2) = 2;           // col 2 norm 2
+  auto res = qrcp<T>(a);
+  EXPECT_EQ(res.perm[0], 1);
+}
+
+TYPED_TEST(QrTyped, QrcpPartialColumnsRequested) {
+  using T = TypeParam;
+  auto a = random_matrix<T>(12, 8, 108);
+  auto res = qrcp<T>(a, 3);
+  EXPECT_EQ(res.q.cols(), 3);
+  EXPECT_EQ(res.r.rows(), 3);
+  EXPECT_LT(orthogonality_error<T>(res.q), 30 * testutil::type_tol<T>());
+}
+
+TYPED_TEST(QrTyped, QrcpTallerQThanRankRequested) {
+  using T = TypeParam;
+  // k (Q columns) larger than n (matrix columns): orthonormal completion.
+  auto a = random_matrix<T>(10, 3, 109);
+  auto res = qrcp<T>(a, 7);
+  EXPECT_EQ(res.q.cols(), 7);
+  EXPECT_LT(orthogonality_error<T>(res.q), 50 * testutil::type_tol<T>());
+  // Leading 3 columns still span A's column space: projecting A onto them
+  // reproduces A.
+  auto proj = matmul<T>(Op::transpose, Op::none, res.q, a);
+  auto back = matmul<T>(Op::none, Op::none, res.q, proj);
+  EXPECT_LT(max_abs_diff<T>(back, a), 100 * testutil::type_tol<T>());
+}
+
+TYPED_TEST(QrTyped, OrthonormalizeRandomMatrix) {
+  using T = TypeParam;
+  auto a = random_matrix<T>(30, 6, 110);
+  auto q = orthonormalize<T>(a);
+  EXPECT_LT(orthogonality_error<T>(q), 30 * testutil::type_tol<T>());
+  EXPECT_EQ(q.rows(), 30);
+  EXPECT_EQ(q.cols(), 6);
+}
+
+TEST(Qr, ThinQrRequiresTall) {
+  Matrix<double> a(3, 5);
+  EXPECT_THROW(qr_thin<double>(a), precondition_error);
+}
+
+TEST(Qr, PermIsAPermutation) {
+  auto a = random_matrix<double>(9, 9, 111);
+  auto res = qrcp<double>(a);
+  std::vector<idx_t> perm = res.perm;
+  std::sort(perm.begin(), perm.end());
+  for (idx_t j = 0; j < 9; ++j) EXPECT_EQ(perm[j], j);
+}
+
+TEST(Qr, ZeroMatrixQrcpStillOrthonormal) {
+  Matrix<double> a(6, 4);
+  auto res = qrcp<double>(a);
+  EXPECT_LT(orthogonality_error<double>(res.q), 1e-12);
+}
+
+}  // namespace
+}  // namespace rahooi::la

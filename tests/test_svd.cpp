@@ -1,0 +1,126 @@
+#include "la/svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/qr.hpp"
+#include "test_util.hpp"
+
+namespace rahooi::la {
+namespace {
+
+using testutil::random_matrix;
+
+template <typename T>
+Matrix<T> reconstruct(const SvdResult<T>& s) {
+  Matrix<T> us(s.u.rows(), s.u.cols());
+  for (idx_t j = 0; j < s.u.cols(); ++j) {
+    for (idx_t i = 0; i < s.u.rows(); ++i) {
+      us(i, j) = static_cast<T>(s.u(i, j) * s.singular[j]);
+    }
+  }
+  return matmul<T>(Op::none, Op::transpose, us, s.v);
+}
+
+template <typename T>
+class SvdTyped : public ::testing::Test {};
+
+using Scalars = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(SvdTyped, Scalars);
+
+TYPED_TEST(SvdTyped, ReconstructsTallMatrix) {
+  using T = TypeParam;
+  auto a = random_matrix<T>(12, 5, 300);
+  auto s = svd_jacobi<T>(a);
+  EXPECT_LT(max_abs_diff<T>(reconstruct(s), a), 100 * testutil::type_tol<T>());
+}
+
+TYPED_TEST(SvdTyped, ReconstructsWideMatrix) {
+  using T = TypeParam;
+  auto a = random_matrix<T>(4, 11, 301);
+  auto s = svd_jacobi<T>(a);
+  EXPECT_EQ(s.u.rows(), 4);
+  EXPECT_EQ(s.v.rows(), 11);
+  EXPECT_LT(max_abs_diff<T>(reconstruct(s), a), 100 * testutil::type_tol<T>());
+}
+
+TYPED_TEST(SvdTyped, FactorsAreOrthonormal) {
+  using T = TypeParam;
+  auto a = random_matrix<T>(10, 6, 302);
+  auto s = svd_jacobi<T>(a);
+  EXPECT_LT(orthogonality_error<T>(s.u), 100 * testutil::type_tol<T>());
+  EXPECT_LT(orthogonality_error<T>(s.v), 100 * testutil::type_tol<T>());
+}
+
+TYPED_TEST(SvdTyped, SingularValuesDescendingNonNegative) {
+  using T = TypeParam;
+  auto a = random_matrix<T>(9, 9, 303);
+  auto s = svd_jacobi<T>(a);
+  for (std::size_t i = 0; i + 1 < s.singular.size(); ++i) {
+    EXPECT_GE(s.singular[i], s.singular[i + 1]);
+  }
+  EXPECT_GE(s.singular.back(), 0.0);
+}
+
+TYPED_TEST(SvdTyped, KnownSingularValuesRecovered) {
+  using T = TypeParam;
+  auto u = orthonormalize<T>(random_matrix<T>(10, 3, 304));
+  auto v = orthonormalize<T>(random_matrix<T>(7, 3, 305));
+  const double sv[3] = {4.0, 1.5, 0.1};
+  Matrix<T> us(10, 3);
+  for (idx_t j = 0; j < 3; ++j) {
+    for (idx_t i = 0; i < 10; ++i) us(i, j) = static_cast<T>(u(i, j) * sv[j]);
+  }
+  auto a = matmul<T>(Op::none, Op::transpose, us, v);
+  auto s = svd_jacobi<T>(a);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(s.singular[i], sv[i], 50 * testutil::type_tol<T>());
+  }
+  for (std::size_t i = 3; i < s.singular.size(); ++i) {
+    EXPECT_NEAR(s.singular[i], 0.0, 50 * testutil::type_tol<T>());
+  }
+}
+
+TYPED_TEST(SvdTyped, RankDeficientUStillOrthonormal) {
+  using T = TypeParam;
+  auto b = random_matrix<T>(8, 2, 306);
+  auto c = random_matrix<T>(2, 6, 307);
+  auto a = matmul<T>(Op::none, Op::none, b, c);  // rank 2
+  auto s = svd_jacobi<T>(a);
+  EXPECT_LT(orthogonality_error<T>(s.u), 200 * testutil::type_tol<T>());
+  EXPECT_LT(max_abs_diff<T>(reconstruct(s), a), 500 * testutil::type_tol<T>());
+}
+
+TEST(Svd, FrobeniusNormEqualsSingularValueNorm) {
+  auto a = random_matrix<double>(14, 9, 308);
+  auto s = svd_jacobi<double>(a);
+  double sv2 = 0;
+  for (double v : s.singular) sv2 += v * v;
+  EXPECT_NEAR(std::sqrt(sv2), frobenius_norm<double>(a.cref()), 1e-10);
+}
+
+TEST(Svd, SingleColumn) {
+  Matrix<double> a(5, 1);
+  for (idx_t i = 0; i < 5; ++i) a(i, 0) = 2.0;
+  auto s = svd_jacobi<double>(a);
+  EXPECT_NEAR(s.singular[0], 2.0 * std::sqrt(5.0), 1e-12);
+}
+
+TEST(Svd, MatchesEigOfGram) {
+  auto a = random_matrix<double>(20, 6, 309);
+  auto s = svd_jacobi<double>(a);
+  Matrix<double> gram(6, 6);
+  // A^T A eigenvalues = singular values squared.
+  auto ata = matmul<double>(Op::transpose, Op::none, a, a);
+  (void)gram;
+  double trace = 0;
+  for (idx_t i = 0; i < 6; ++i) trace += ata(i, i);
+  double sv2 = 0;
+  for (double v : s.singular) sv2 += v * v;
+  EXPECT_NEAR(trace, sv2, 1e-9);
+}
+
+}  // namespace
+}  // namespace rahooi::la

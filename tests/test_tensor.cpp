@@ -1,0 +1,157 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.hpp"
+
+namespace rahooi::tensor {
+namespace {
+
+using testutil::random_tensor;
+
+TEST(Tensor, ConstructionAndDims) {
+  Tensor<double> x({3, 4, 5});
+  EXPECT_EQ(x.ndims(), 3);
+  EXPECT_EQ(x.dim(0), 3);
+  EXPECT_EQ(x.dim(2), 5);
+  EXPECT_EQ(x.size(), 60);
+}
+
+TEST(Tensor, VolumeHelper) {
+  EXPECT_EQ(volume({2, 3, 4}), 24);
+  EXPECT_EQ(volume({}), 1);
+  EXPECT_EQ(volume({7}), 7);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor<float> x({2, 2});
+  for (idx_t i = 0; i < x.size(); ++i) EXPECT_EQ(x[i], 0.0f);
+}
+
+TEST(Tensor, FirstModeFastestLayout) {
+  Tensor<double> x({2, 3});
+  x.at({1, 0}) = 1.0;
+  x.at({0, 1}) = 2.0;
+  EXPECT_EQ(x[1], 1.0);
+  EXPECT_EQ(x[2], 2.0);
+}
+
+TEST(Tensor, LinearIndexRoundTrip) {
+  Tensor<double> x({3, 4, 2});
+  idx_t lin = 0;
+  for (idx_t k = 0; k < 2; ++k) {
+    for (idx_t j = 0; j < 4; ++j) {
+      for (idx_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(x.linear_index({i, j, k}), lin++);
+      }
+    }
+  }
+}
+
+TEST(Tensor, LeftRightSizes) {
+  Tensor<double> x({2, 3, 4, 5});
+  EXPECT_EQ(x.left_size(0), 1);
+  EXPECT_EQ(x.left_size(2), 6);
+  EXPECT_EQ(x.right_size(2), 5);
+  EXPECT_EQ(x.right_size(3), 1);
+  EXPECT_EQ(x.left_size(3) * x.dim(3) * x.right_size(3), x.size());
+}
+
+TEST(Tensor, NormMatchesManualSum) {
+  Tensor<double> x({2, 2});
+  x[0] = 3;
+  x[3] = 4;
+  EXPECT_DOUBLE_EQ(x.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(x.sum_squares(), 25.0);
+}
+
+TEST(Tensor, SlabGeometryCoversBuffer) {
+  auto x = random_tensor<double>({3, 4, 5}, 42);
+  // Mode-1 slabs: 5 slabs of 3x4; entry (l, i) of slab s is x(l, i, s).
+  for (idx_t s = 0; s < 5; ++s) {
+    auto sl = x.slab(1, s);
+    EXPECT_EQ(sl.rows, 3);
+    EXPECT_EQ(sl.cols, 4);
+    for (idx_t i = 0; i < 4; ++i) {
+      for (idx_t l = 0; l < 3; ++l) {
+        EXPECT_EQ(sl(l, i), x.at({l, i, s}));
+      }
+    }
+  }
+}
+
+TEST(Tensor, UnfoldMode0IsBufferView) {
+  auto x = random_tensor<double>({3, 4, 2}, 7);
+  auto u = unfold(x, 0);
+  EXPECT_EQ(u.rows(), 3);
+  EXPECT_EQ(u.cols(), 8);
+  for (idx_t c = 0; c < 8; ++c) {
+    for (idx_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(u(i, c), x[i + 3 * c]);
+    }
+  }
+}
+
+TEST(Tensor, UnfoldMiddleModeCorrectFibers) {
+  auto x = random_tensor<double>({2, 3, 4}, 8);
+  auto u = unfold(x, 1);
+  EXPECT_EQ(u.rows(), 3);
+  EXPECT_EQ(u.cols(), 8);
+  // Column (l, s) holds the mode-1 fiber x(l, :, s).
+  for (idx_t s = 0; s < 4; ++s) {
+    for (idx_t l = 0; l < 2; ++l) {
+      for (idx_t i = 0; i < 3; ++i) {
+        EXPECT_EQ(u(i, s * 2 + l), x.at({l, i, s}));
+      }
+    }
+  }
+}
+
+TEST(Tensor, UnfoldingsPreserveNorm) {
+  auto x = random_tensor<double>({4, 3, 5}, 9);
+  for (int j = 0; j < 3; ++j) {
+    auto u = unfold(x, j);
+    EXPECT_NEAR(la::frobenius_norm<double>(u.cref()), x.norm(), 1e-12);
+  }
+}
+
+TEST(Tensor, LeadingSubtensorExtractsCorner) {
+  auto x = random_tensor<double>({4, 5, 3}, 10);
+  auto sub = x.leading_subtensor({2, 3, 2});
+  EXPECT_EQ(sub.dims(), (std::vector<idx_t>{2, 3, 2}));
+  for (idx_t k = 0; k < 2; ++k) {
+    for (idx_t j = 0; j < 3; ++j) {
+      for (idx_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(sub.at({i, j, k}), x.at({i, j, k}));
+      }
+    }
+  }
+}
+
+TEST(Tensor, LeadingSubtensorFullSizeIsCopy) {
+  auto x = random_tensor<double>({3, 3}, 11);
+  auto sub = x.leading_subtensor({3, 3});
+  for (idx_t i = 0; i < x.size(); ++i) EXPECT_EQ(sub[i], x[i]);
+}
+
+TEST(Tensor, LeadingSubtensorRejectsOversize) {
+  Tensor<double> x({2, 2});
+  EXPECT_THROW(x.leading_subtensor({3, 1}), precondition_error);
+  EXPECT_THROW(x.leading_subtensor({1}), precondition_error);
+}
+
+TEST(Tensor, OneDimensionalTensor) {
+  Tensor<double> x({6});
+  x[3] = 2.0;
+  EXPECT_EQ(x.left_size(0), 1);
+  EXPECT_EQ(x.right_size(0), 1);
+  auto u = unfold(x, 0);
+  EXPECT_EQ(u.rows(), 6);
+  EXPECT_EQ(u.cols(), 1);
+  EXPECT_EQ(u(3, 0), 2.0);
+}
+
+}  // namespace
+}  // namespace rahooi::tensor

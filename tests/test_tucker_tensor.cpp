@@ -1,0 +1,149 @@
+#include "tensor/tucker_tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/qr.hpp"
+#include "tensor/ttm.hpp"
+#include "test_util.hpp"
+
+namespace rahooi::tensor {
+namespace {
+
+using testutil::random_matrix;
+using testutil::random_tensor;
+
+template <typename T>
+TuckerTensor<T> random_tucker(const std::vector<idx_t>& dims,
+                              const std::vector<idx_t>& ranks,
+                              std::uint64_t seed, bool orthonormal = true) {
+  TuckerTensor<T> t;
+  t.core = random_tensor<T>(ranks, seed);
+  for (std::size_t j = 0; j < dims.size(); ++j) {
+    auto u = random_matrix<T>(dims[j], ranks[j], seed + 10 + j);
+    t.factors.push_back(orthonormal ? la::orthonormalize<T>(u.cref())
+                                    : std::move(u));
+  }
+  return t;
+}
+
+TEST(TuckerTensor, SizeAccounting) {
+  auto t = random_tucker<double>({10, 12, 8}, {3, 4, 2}, 700);
+  EXPECT_EQ(t.ranks(), (std::vector<idx_t>{3, 4, 2}));
+  EXPECT_EQ(t.full_dims(), (std::vector<idx_t>{10, 12, 8}));
+  EXPECT_EQ(t.full_size(), 960);
+  EXPECT_EQ(t.compressed_size(), 3 * 4 * 2 + 10 * 3 + 12 * 4 + 8 * 2);
+  EXPECT_DOUBLE_EQ(t.compression_ratio(),
+                   960.0 / t.compressed_size());
+}
+
+TEST(TuckerTensor, ReconstructMatchesNaiveMultiTtm) {
+  auto t = random_tucker<double>({5, 6, 4}, {2, 3, 2}, 701);
+  auto rec = t.reconstruct();
+  Tensor<double> manual = t.core;
+  for (int j = 0; j < 3; ++j) {
+    manual = ttm(manual, j, t.factors[j].cref(), la::Op::none);
+  }
+  EXPECT_EQ(rec.dims(), (std::vector<idx_t>{5, 6, 4}));
+  for (idx_t i = 0; i < rec.size(); ++i) {
+    EXPECT_NEAR(rec[i], manual[i], 1e-12);
+  }
+}
+
+TEST(TuckerTensor, OrthonormalFactorsPreserveCoreNorm) {
+  auto t = random_tucker<double>({8, 7, 6}, {3, 3, 3}, 702);
+  auto rec = t.reconstruct();
+  EXPECT_NEAR(rec.norm(), t.core.norm(), 1e-10);
+}
+
+TEST(TuckerTensor, ExactRepresentationHasZeroError) {
+  // Build X in Tucker form, then it is its own Tucker decomposition.
+  auto t = random_tucker<double>({6, 5, 4}, {2, 2, 2}, 703);
+  auto x = t.reconstruct();
+  EXPECT_NEAR(relative_error(x, t), 0.0, 1e-12);
+}
+
+TEST(TuckerTensor, TruncateShrinksCoreAndFactors) {
+  auto t = random_tucker<double>({9, 8, 7}, {4, 4, 4}, 704);
+  t.truncate({2, 3, 1});
+  EXPECT_EQ(t.ranks(), (std::vector<idx_t>{2, 3, 1}));
+  EXPECT_EQ(t.factors[0].cols(), 2);
+  EXPECT_EQ(t.factors[1].cols(), 3);
+  EXPECT_EQ(t.factors[2].cols(), 1);
+  EXPECT_EQ(t.factors[0].rows(), 9);  // row counts unchanged
+}
+
+TEST(TuckerTensor, TruncationErrorEqualsDroppedCoreNorm) {
+  // For orthonormal factors, truncating the core to a leading subtensor
+  // discards exactly the norm of the dropped core entries (paper §3.2).
+  auto t = random_tucker<double>({10, 9, 8}, {4, 4, 4}, 705);
+  auto x = t.reconstruct();
+  const double full2 = t.core.sum_squares();
+  TuckerTensor<double> tr = t;
+  tr.truncate({2, 3, 4});
+  const double kept2 = tr.core.sum_squares();
+  const double err = relative_error(x, tr);
+  EXPECT_NEAR(err, std::sqrt((full2 - kept2)) / x.norm(), 1e-9);
+}
+
+TEST(TuckerTensor, TruncateRejectsBadRanks) {
+  auto t = random_tucker<double>({5, 5}, {3, 3}, 706);
+  EXPECT_THROW(t.truncate({4, 1}), precondition_error);
+  EXPECT_THROW(t.truncate({0, 1}), precondition_error);
+  EXPECT_THROW(t.truncate({2}), precondition_error);
+}
+
+TEST(TuckerTensor, CompressionRatioImprovesWithTruncation) {
+  auto t = random_tucker<double>({20, 20, 20}, {8, 8, 8}, 707);
+  const double before = t.compression_ratio();
+  t.truncate({4, 4, 4});
+  EXPECT_GT(t.compression_ratio(), before);
+}
+
+TEST(TuckerTensor, ReconstructRegionMatchesFullReconstruction) {
+  auto t = random_tucker<double>({8, 9, 7}, {3, 3, 3}, 710);
+  auto full = t.reconstruct();
+  auto region = t.reconstruct_region({2, 0, 4}, {3, 5, 2});
+  EXPECT_EQ(region.dims(), (std::vector<idx_t>{3, 5, 2}));
+  for (idx_t k = 0; k < 2; ++k) {
+    for (idx_t j = 0; j < 5; ++j) {
+      for (idx_t i = 0; i < 3; ++i) {
+        EXPECT_NEAR(region.at({i, j, k}), full.at({2 + i, j, 4 + k}), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(TuckerTensor, ReconstructRegionFullRangeEqualsReconstruct) {
+  auto t = random_tucker<double>({5, 6, 4}, {2, 2, 2}, 711);
+  auto full = t.reconstruct();
+  auto region = t.reconstruct_region({0, 0, 0}, {5, 6, 4});
+  for (idx_t i = 0; i < full.size(); ++i) {
+    EXPECT_NEAR(region[i], full[i], 1e-13);
+  }
+}
+
+TEST(TuckerTensor, ReconstructRegionSingleEntry) {
+  auto t = random_tucker<double>({6, 6, 6}, {3, 3, 3}, 712);
+  auto full = t.reconstruct();
+  auto one = t.reconstruct_region({4, 2, 5}, {1, 1, 1});
+  EXPECT_EQ(one.size(), 1);
+  EXPECT_NEAR(one[0], full.at({4, 2, 5}), 1e-12);
+}
+
+TEST(TuckerTensor, ReconstructRegionRejectsOutOfBounds) {
+  auto t = random_tucker<double>({4, 4}, {2, 2}, 713);
+  EXPECT_THROW(t.reconstruct_region({3, 0}, {2, 2}), precondition_error);
+  EXPECT_THROW(t.reconstruct_region({0}, {1}), precondition_error);
+  EXPECT_THROW(t.reconstruct_region({-1, 0}, {1, 1}), precondition_error);
+}
+
+TEST(TuckerTensor, FourWayRoundTrip) {
+  auto t = random_tucker<float>({4, 5, 3, 6}, {2, 2, 2, 2}, 708);
+  auto x = t.reconstruct();
+  EXPECT_NEAR(relative_error(x, t), 0.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace rahooi::tensor
