@@ -1,8 +1,22 @@
-// Kernel microbenchmarks (google-benchmark): the local building blocks
-// whose measured throughput calibrates the strong-scaling model, plus
-// direct head-to-head sweeps of the paper's two optimizations.
+// Kernel microbenchmarks. Two modes:
+//
+//   bench_kernels            — default: times the packed GEMM/SYRK/TTM/Gram
+//                              kernels against the retained naive references
+//                              at representative HOOI shapes and writes
+//                              BENCH_kernels.json (GFLOP/s + speedup).
+//   bench_kernels --gbench   — the original google-benchmark suite over the
+//                              local building blocks that calibrate the
+//                              strong-scaling model, plus the paper's two
+//                              head-to-head optimization ablations.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "comm/runtime.hpp"
 #include "common/rng.hpp"
@@ -27,6 +41,235 @@ la::Matrix<T> random_matrix(idx_t rows, idx_t cols, std::uint64_t seed) {
   }
   return m;
 }
+
+template <typename T>
+tensor::Tensor<T> random_tensor(const std::vector<idx_t>& dims,
+                                std::uint64_t seed) {
+  CounterRng rng(seed);
+  tensor::Tensor<T> x(dims);
+  for (idx_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<T>(rng.normal(i));
+  }
+  return x;
+}
+
+// ===========================================================================
+// JSON report mode
+// ===========================================================================
+
+/// Runs fn repeatedly until ~0.3 s of wall time accumulates and returns
+/// GFLOP/s for the given per-call flop count.
+double time_gflops(double flops_per_call, const std::function<void()>& fn) {
+  fn();  // warm-up (also first-touch of any scratch)
+  const auto t0 = std::chrono::steady_clock::now();
+  int reps = 0;
+  double secs = 0.0;
+  do {
+    fn();
+    ++reps;
+    secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+               .count();
+  } while (secs < 0.3 && reps < 1000000);
+  return flops_per_call * reps / secs / 1e9;
+}
+
+struct JsonEntry {
+  std::string name;
+  double gflops;
+  double ref_gflops;
+};
+
+/// Seed-structure mode_gram: scalar slab transpose into scratch + per-slab
+/// syrk_ref accumulation (the pre-fusion formulation).
+template <typename T>
+void mode_gram_seed_ref(const tensor::Tensor<T>& x, int mode,
+                        la::Matrix<T>& g) {
+  const idx_t n = x.dim(mode);
+  const idx_t left = x.left_size(mode);
+  const idx_t right = x.right_size(mode);
+  if (mode == 0) {
+    la::ConstMatrixRef<T> xm(x.data(), n, right, n);
+    la::syrk_ref(T{1}, xm, T{0}, g.ref());
+    return;
+  }
+  la::Matrix<T> scratch(n, left);
+  for (idx_t s = 0; s < right; ++s) {
+    auto sl = x.slab(mode, s);
+    for (idx_t i = 0; i < n; ++i) {
+      for (idx_t l = 0; l < left; ++l) scratch(i, l) = sl(l, i);
+    }
+    la::syrk_ref(T{1}, scratch.cref(), s == 0 ? T{0} : T{1}, g.ref());
+  }
+}
+
+/// Seed-structure general-mode TTM: per-slab gemm_ref loop.
+template <typename T>
+void ttm_seed_ref(const tensor::Tensor<T>& x, int mode,
+                  la::ConstMatrixRef<T> u, tensor::Tensor<T>& y) {
+  const idx_t right = x.right_size(mode);
+  if (mode == 0) {
+    const idx_t n = x.dim(mode);
+    la::ConstMatrixRef<T> xm(x.data(), n, right, n);
+    la::MatrixRef<T> ym{y.data(), u.cols, right, u.cols};
+    la::gemm_ref(la::Op::transpose, la::Op::none, T{1}, u, xm, T{0}, ym);
+    return;
+  }
+  for (idx_t s = 0; s < right; ++s) {
+    la::gemm_ref(la::Op::none, la::Op::none, T{1}, x.slab(mode, s), u, T{0},
+                 y.slab(mode, s));
+  }
+}
+
+template <typename T>
+void bench_gemm_square(idx_t n, const char* tag,
+                       std::vector<JsonEntry>& out) {
+  auto a = random_matrix<T>(n, n, 1);
+  auto b = random_matrix<T>(n, n, 2);
+  la::Matrix<T> c(n, n);
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
+  const double gf = time_gflops(flops, [&] {
+    la::gemm<T>(la::Op::none, la::Op::none, T{1}, a, b, T{0}, c.ref());
+  });
+  const double ref = time_gflops(flops, [&] {
+    la::gemm_ref<T>(la::Op::none, la::Op::none, T{1}, a, b, T{0}, c.ref());
+  });
+  out.push_back({std::string("gemm_") + tag + "_" + std::to_string(n), gf,
+                 ref});
+}
+
+template <typename T>
+void bench_gemm_ttm_shape(std::vector<JsonEntry>& out, const char* tag) {
+  // The dominant STHOSVD/HOOI TTM GEMM: (left x n) * (n x r), small r.
+  const idx_t left = 4096, n = 256, r = 16;
+  auto a = random_matrix<T>(left, n, 3);
+  auto b = random_matrix<T>(n, r, 4);
+  la::Matrix<T> c(left, r);
+  const double flops = 2.0 * static_cast<double>(left) * n * r;
+  const double gf = time_gflops(flops, [&] {
+    la::gemm<T>(la::Op::none, la::Op::none, T{1}, a, b, T{0}, c.ref());
+  });
+  const double ref = time_gflops(flops, [&] {
+    la::gemm_ref<T>(la::Op::none, la::Op::none, T{1}, a, b, T{0}, c.ref());
+  });
+  out.push_back({std::string("gemm_ttm_shape_") + tag, gf, ref});
+}
+
+template <typename T>
+void bench_syrk(std::vector<JsonEntry>& out, const char* tag) {
+  const idx_t n = 256, k = 4096;
+  auto a = random_matrix<T>(n, k, 5);
+  la::Matrix<T> c(n, n);
+  const double flops = static_cast<double>(n) * (n + 1) * k;
+  const double gf =
+      time_gflops(flops, [&] { la::syrk<T>(T{1}, a, T{0}, c.ref()); });
+  const double ref =
+      time_gflops(flops, [&] { la::syrk_ref<T>(T{1}, a, T{0}, c.ref()); });
+  out.push_back({std::string("syrk_") + tag + "_256x4096", gf, ref});
+}
+
+template <typename T>
+void bench_mode_gram(int mode, std::vector<JsonEntry>& out, const char* tag) {
+  auto x = random_tensor<T>({64, 64, 64}, 10);
+  const idx_t n = x.dim(mode);
+  la::Matrix<T> g(n, n);
+  const double flops = static_cast<double>(n + 1) * x.size();
+  const double gf = time_gflops(flops, [&] {
+    auto gm = tensor::mode_gram(x, mode);
+    benchmark::DoNotOptimize(gm.data());
+  });
+  const double ref =
+      time_gflops(flops, [&] { mode_gram_seed_ref<T>(x, mode, g); });
+  out.push_back({std::string("mode_gram_") + tag + "_64x64x64_mode" +
+                     std::to_string(mode),
+                 gf, ref});
+}
+
+template <typename T>
+void bench_ttm(int mode, std::vector<JsonEntry>& out, const char* tag) {
+  auto x = random_tensor<T>({64, 64, 64}, 8);
+  const idx_t r = 16;
+  auto u = random_matrix<T>(x.dim(mode), r, 9);
+  std::vector<idx_t> ydims = x.dims();
+  ydims[mode] = r;
+  tensor::Tensor<T> y(ydims);
+  const double flops = 2.0 * static_cast<double>(x.size()) * r;
+  const double gf = time_gflops(flops, [&] {
+    auto yy = tensor::ttm(x, mode, u.cref(), la::Op::transpose);
+    benchmark::DoNotOptimize(yy.data());
+  });
+  const double ref =
+      time_gflops(flops, [&] { ttm_seed_ref<T>(x, mode, u.cref(), y); });
+  out.push_back({std::string("ttm_") + tag + "_64x64x64_mode" +
+                     std::to_string(mode) + "_r16",
+                 gf, ref});
+}
+
+template <typename T>
+void bench_contraction(std::vector<JsonEntry>& out, const char* tag) {
+  auto y = random_tensor<T>({64, 32, 32}, 11);
+  auto u = random_matrix<T>(32, 8, 12);
+  auto g = tensor::ttm(y, 1, u.cref(), la::Op::transpose);
+  const double flops = 2.0 * static_cast<double>(y.size()) * 8;
+  const double gf = time_gflops(flops, [&] {
+    auto z = tensor::contract_all_but_one(y, g, 1);
+    benchmark::DoNotOptimize(z.data());
+  });
+  // Seed structure: per-slab transposed gemm_ref accumulation.
+  la::Matrix<T> z(y.dim(1), g.dim(1));
+  const double ref = time_gflops(flops, [&] {
+    const idx_t right = y.right_size(1);
+    for (idx_t s = 0; s < right; ++s) {
+      la::gemm_ref<T>(la::Op::transpose, la::Op::none, T{1}, y.slab(1, s),
+                      g.slab(1, s), s == 0 ? T{0} : T{1}, z.ref());
+    }
+  });
+  out.push_back({std::string("contract_") + tag + "_64x32x32_mode1", gf,
+                 ref});
+}
+
+int run_json_report(const char* path) {
+  std::vector<JsonEntry> entries;
+  bench_gemm_square<double>(256, "d", entries);
+  bench_gemm_square<float>(256, "s", entries);
+  bench_gemm_square<double>(128, "d", entries);
+  bench_gemm_ttm_shape<double>(entries, "d");
+  bench_syrk<double>(entries, "d");
+  bench_syrk<float>(entries, "s");
+  for (int mode = 0; mode < 3; ++mode) {
+    bench_mode_gram<double>(mode, entries, "d");
+  }
+  bench_mode_gram<float>(1, entries, "s");
+  for (int mode = 0; mode < 3; ++mode) {
+    bench_ttm<double>(mode, entries, "d");
+  }
+  bench_contraction<double>(entries, "d");
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_kernels: cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"gflops\": %.3f, "
+                 "\"ref_gflops\": %.3f, \"speedup\": %.2f}%s\n",
+                 e.name.c_str(), e.gflops, e.ref_gflops,
+                 e.gflops / e.ref_gflops, i + 1 < entries.size() ? "," : "");
+    std::printf("%-36s %8.2f GF/s   ref %7.2f GF/s   %5.2fx\n",
+                e.name.c_str(), e.gflops, e.ref_gflops,
+                e.gflops / e.ref_gflops);
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return 0;
+}
+
+// ===========================================================================
+// google-benchmark mode (--gbench)
+// ===========================================================================
 
 void BM_GemmSquare(benchmark::State& state) {
   const idx_t n = state.range(0);
@@ -88,11 +331,7 @@ void BM_SymEvd(benchmark::State& state) {
 
 void BM_TtmMode(benchmark::State& state) {
   const int mode = static_cast<int>(state.range(0));
-  tensor::Tensor<float> x({64, 64, 64});
-  CounterRng rng(8);
-  for (idx_t i = 0; i < x.size(); ++i) {
-    x[i] = static_cast<float>(rng.normal(i));
-  }
+  auto x = random_tensor<float>({64, 64, 64}, 8);
   auto u = random_matrix<float>(64, 8, 9);
   for (auto _ : state) {
     auto y = tensor::ttm(x, mode, u.cref(), la::Op::transpose);
@@ -102,11 +341,7 @@ void BM_TtmMode(benchmark::State& state) {
 
 void BM_ModeGram(benchmark::State& state) {
   const int mode = static_cast<int>(state.range(0));
-  tensor::Tensor<float> x({48, 48, 48});
-  CounterRng rng(10);
-  for (idx_t i = 0; i < x.size(); ++i) {
-    x[i] = static_cast<float>(rng.normal(i));
-  }
+  auto x = random_tensor<float>({48, 48, 48}, 10);
   for (auto _ : state) {
     auto g = tensor::mode_gram(x, mode);
     benchmark::DoNotOptimize(g.data());
@@ -114,11 +349,7 @@ void BM_ModeGram(benchmark::State& state) {
 }
 
 void BM_Contraction(benchmark::State& state) {
-  tensor::Tensor<float> y({64, 32, 32});
-  CounterRng rng(11);
-  for (idx_t i = 0; i < y.size(); ++i) {
-    y[i] = static_cast<float>(rng.normal(i));
-  }
+  auto y = random_tensor<float>({64, 32, 32}, 11);
   auto u = random_matrix<float>(64, 8, 12);
   auto g = tensor::ttm(y, 0, u.cref(), la::Op::transpose);
   for (auto _ : state) {
@@ -189,4 +420,16 @@ BENCHMARK(BM_AllreduceSimulated)->Arg(2)->Arg(8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool gbench = false;
+  const char* json_path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gbench") == 0) gbench = true;
+  }
+  if (!gbench) return run_json_report(json_path);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -89,10 +89,10 @@ GramLlsv<T> llsv_qr_svd(const dist::DistTensor<T>& x, int mode, idx_t rank,
   {
     // Small sequential factorization replacing the EVD in the breakdown.
     PhaseTimer t(Phase::evd);
+    // R is exactly upper triangular (zeros below the diagonal), so a full
+    // transpose yields the lower-triangular L = R^T directly.
     la::Matrix<T> l(n, n);
-    for (idx_t j = 0; j < n; ++j) {
-      for (idx_t i = 0; i <= j; ++i) l(j, i) = r_factor(i, j);
-    }
+    la::transpose(r_factor.cref(), l.ref());
     la::SvdResult<T> svd = la::svd_jacobi<T>(l.cref());
     out.eigenvalues.resize(n);
     for (idx_t i = 0; i < n; ++i) {

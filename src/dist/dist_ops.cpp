@@ -78,13 +78,12 @@ la::Matrix<T> redistribute_mode(const DistTensor<T>& x, int mode) {
   la::Matrix<T> cols(n, my_fibers);
 
   if (pj == 1) {
-    // No communication: transpose fibers straight out of the local block.
-    for (idx_t f = 0; f < fibers; ++f) {
-      const idx_t l = f % left;
-      const idx_t s = f / left;
-      auto sl = x.local().slab(mode, s);
-      T* dst = cols.data() + f * n;
-      for (idx_t a = 0; a < n; ++a) dst[a] = sl(l, a);
+    // No communication: columns [s*left, (s+1)*left) of the fiber matrix
+    // are exactly slab s transposed, so blocked transposes replace the
+    // scalar fiber gather.
+    for (idx_t s = 0; s < right; ++s) {
+      la::transpose(x.local().slab(mode, s),
+                    cols.ref().block(0, s * left, n, left));
     }
     return cols;
   }
@@ -171,9 +170,7 @@ la::Matrix<T> dist_mode_tsqr_r(const DistTensor<T>& x, int mode) {
   // otherwise the (fewer-than-n)-row block itself is this rank's
   // contribution (its Gram is preserved either way).
   la::Matrix<T> colsT(cols.cols(), n);
-  for (idx_t j = 0; j < n; ++j) {
-    for (idx_t f = 0; f < cols.cols(); ++f) colsT(f, j) = cols(j, f);
-  }
+  la::transpose(cols.cref(), colsT.ref());
   la::Matrix<T> local =
       colsT.rows() >= n ? la::qr_thin<T>(colsT.cref()).r : std::move(colsT);
 

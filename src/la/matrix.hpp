@@ -6,7 +6,10 @@
 // the tensor's buffer with no copying, which is what makes the TTM-as-GEMM
 // formulation cheap.
 
+#include <cstddef>
 #include <cstdint>
+#include <new>
+#include <utility>
 #include <vector>
 
 #include "common/contracts.hpp"
@@ -14,6 +17,59 @@
 namespace rahooi::la {
 
 using idx_t = std::int64_t;
+
+/// Cache-line-aligned, uninitialized scratch storage. Used by the packed
+/// GEMM/SYRK kernels for their panel buffers, where vector-width alignment
+/// matters and value-initialization of megabytes of scratch would be waste.
+/// Grows monotonically; contents are unspecified after reserve().
+template <typename T>
+class AlignedBuffer {
+ public:
+  static constexpr std::size_t kAlign = 64;
+
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t n) { reserve(n); }
+  ~AlignedBuffer() { release(); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  AlignedBuffer(AlignedBuffer&& o) noexcept
+      : ptr_(std::exchange(o.ptr_, nullptr)), cap_(std::exchange(o.cap_, 0)) {}
+  AlignedBuffer& operator=(AlignedBuffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      ptr_ = std::exchange(o.ptr_, nullptr);
+      cap_ = std::exchange(o.cap_, 0);
+    }
+    return *this;
+  }
+
+  /// Ensures capacity for at least n elements and returns the buffer.
+  T* reserve(std::size_t n) {
+    if (n > cap_) {
+      release();
+      ptr_ = static_cast<T*>(
+          ::operator new(n * sizeof(T), std::align_val_t{kAlign}));
+      cap_ = n;
+    }
+    return ptr_;
+  }
+
+  T* data() const { return ptr_; }
+  std::size_t capacity() const { return cap_; }
+
+ private:
+  void release() {
+    if (ptr_ != nullptr) {
+      ::operator delete(ptr_, std::align_val_t{kAlign});
+      ptr_ = nullptr;
+      cap_ = 0;
+    }
+  }
+
+  T* ptr_ = nullptr;
+  std::size_t cap_ = 0;
+};
 
 /// Non-owning mutable view of a column-major matrix with leading dimension.
 template <typename T>

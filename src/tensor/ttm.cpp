@@ -1,8 +1,13 @@
 #include "tensor/ttm.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace rahooi::tensor {
+
+namespace detail {
+bool g_force_ttm_slab_fallback = false;
+}  // namespace detail
 
 template <typename T>
 Tensor<T> ttm(const Tensor<T>& x, int mode, la::ConstMatrixRef<T> u,
@@ -31,18 +36,23 @@ Tensor<T> ttm(const Tensor<T>& x, int mode, la::ConstMatrixRef<T> u,
     return y;
   }
 
-  // General mode: slab-wise GEMM. Each input slab (left x n) maps to an
-  // output slab (left x result): out = in * U (transpose case) or
-  // out = in * U^T (expansion case).
-  for (idx_t s = 0; s < right; ++s) {
-    auto in = x.slab(mode, s);
-    auto out = y.slab(mode, s);
-    if (op == la::Op::transpose) {
-      la::gemm(la::Op::none, la::Op::none, T{1}, in, u, T{0}, out);
-    } else {
-      la::gemm(la::Op::none, la::Op::transpose, T{1}, in, u, T{0}, out);
+  // General mode: each input slab (left x n) maps to an output slab
+  // (left x result): out = in * U (transpose case) or out = in * U^T
+  // (expansion case). Slabs are contiguous at stride left*n (input) and
+  // left*result (output), so the whole unfolding is one strided-batch GEMM:
+  // U is packed once and cache blocking spans slab boundaries.
+  const idx_t left = x.left_size(mode);
+  const la::Op op_b =
+      (op == la::Op::transpose) ? la::Op::none : la::Op::transpose;
+  if (detail::g_force_ttm_slab_fallback) {
+    for (idx_t s = 0; s < right; ++s) {
+      la::gemm(la::Op::none, op_b, T{1}, x.slab(mode, s), u, T{0},
+               y.slab(mode, s));
     }
+    return y;
   }
+  la::gemm_strided_batch(op_b, right, T{1}, x.data(), left, n, left * n, u,
+                         T{0}, y.data(), result, left * result);
   return y;
 }
 
@@ -52,12 +62,24 @@ Tensor<T> multi_ttm(const Tensor<T>& x,
                     const std::vector<int>& modes, la::Op op) {
   RAHOOI_REQUIRE(static_cast<int>(factors.size()) == x.ndims(),
                  "multi_ttm: one factor slot per mode required");
-  if (modes.empty()) return x;
+  RAHOOI_REQUIRE(!modes.empty(),
+                 "multi_ttm: empty mode list is the identity; the copy it "
+                 "implies is never intended — use the rvalue overload");
   Tensor<T> y = ttm(x, modes[0], factors[modes[0]], op);
   for (std::size_t i = 1; i < modes.size(); ++i) {
     y = ttm(y, modes[i], factors[modes[i]], op);
   }
   return y;
+}
+
+template <typename T>
+Tensor<T> multi_ttm(Tensor<T>&& x,
+                    const std::vector<la::ConstMatrixRef<T>>& factors,
+                    const std::vector<int>& modes, la::Op op) {
+  RAHOOI_REQUIRE(static_cast<int>(factors.size()) == x.ndims(),
+                 "multi_ttm: one factor slot per mode required");
+  if (modes.empty()) return std::move(x);
+  return multi_ttm(static_cast<const Tensor<T>&>(x), factors, modes, op);
 }
 
 template <typename T>
@@ -68,6 +90,9 @@ Tensor<T> multi_ttm_skip(const Tensor<T>& x,
   for (int j = 0; j < x.ndims(); ++j) {
     if (j != skip_mode) modes.push_back(j);
   }
+  // Degenerate d == 1 case: skipping the only mode leaves the identity, so
+  // the copy is the requested result.
+  if (modes.empty()) return x;
   return multi_ttm(x, factors, modes, op);
 }
 
@@ -86,17 +111,10 @@ la::Matrix<T> mode_gram(const Tensor<T>& x, int mode) {
     return g;
   }
 
-  // Transpose each slab into scratch (n x left) and accumulate SYRKs so the
-  // symmetric half-flop count matches mode 0.
-  la::Matrix<T> scratch(n, left);
-  auto gref = g.ref();
-  for (idx_t s = 0; s < right; ++s) {
-    auto sl = x.slab(mode, s);
-    for (idx_t i = 0; i < n; ++i) {
-      for (idx_t l = 0; l < left; ++l) scratch(i, l) = sl(l, i);
-    }
-    la::syrk(T{1}, scratch.cref(), s == 0 ? T{0} : T{1}, gref);
-  }
+  // General mode: G = sum_s slab_s^T slab_s over the (left x n) slabs. The
+  // batched SYRK fuses the slab transposes into its pack step and keeps the
+  // symmetric half-flop count of mode 0; no scratch transpose exists.
+  la::syrk_batch_t(right, T{1}, x.data(), left, n, left * n, T{0}, g.ref());
   return g;
 }
 
@@ -110,15 +128,21 @@ la::Matrix<T> contract_all_but_one(const Tensor<T>& y, const Tensor<T>& g,
   }
   const idx_t n = y.dim(mode);
   const idx_t r = g.dim(mode);
+  const idx_t left = y.left_size(mode);
   const idx_t right = y.right_size(mode);
   la::Matrix<T> z(n, r);
-  auto zref = z.ref();
-  // Z = sum over slabs of Yslab^T * Gslab; slabs align because all
-  // non-contracted dimensions agree.
-  for (idx_t s = 0; s < right; ++s) {
-    la::gemm(la::Op::transpose, la::Op::none, T{1}, y.slab(mode, s),
-             g.slab(mode, s), s == 0 ? T{0} : T{1}, zref);
+  if (mode == 0) {
+    // Mode-1 unfoldings are column-major in place: one plain NT product.
+    la::ConstMatrixRef<T> yu(y.data(), n, right, n);
+    la::ConstMatrixRef<T> gu(g.data(), r, right, r);
+    la::gemm(la::Op::none, la::Op::transpose, T{1}, yu, gu, T{0}, z.ref());
+    return z;
   }
+  // Z = sum over slabs of Yslab^T * Gslab; slabs align because all
+  // non-contracted dimensions agree. One batched transposed product; the
+  // slab transposes happen during packing.
+  la::gemm_batch_tn(right, T{1}, y.data(), left, n, left * n, g.data(), r,
+                    left * r, T{0}, z.ref());
   return z;
 }
 
@@ -126,6 +150,9 @@ la::Matrix<T> contract_all_but_one(const Tensor<T>& y, const Tensor<T>& g,
   template Tensor<T> ttm<T>(const Tensor<T>&, int, la::ConstMatrixRef<T>,     \
                             la::Op);                                          \
   template Tensor<T> multi_ttm<T>(const Tensor<T>&,                           \
+                                  const std::vector<la::ConstMatrixRef<T>>&,  \
+                                  const std::vector<int>&, la::Op);           \
+  template Tensor<T> multi_ttm<T>(Tensor<T>&&,                                \
                                   const std::vector<la::ConstMatrixRef<T>>&,  \
                                   const std::vector<int>&, la::Op);           \
   template Tensor<T> multi_ttm_skip<T>(                                       \

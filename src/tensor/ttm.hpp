@@ -2,11 +2,25 @@
 // Tensor-times-matrix (TTM), multi-TTM, and unfolding-Gram kernels on local
 // tensors. These are the computational workhorses of every algorithm in the
 // paper; their distributed counterparts in dist/ call these on local blocks.
+//
+// All general-mode operations map the slab geometry of a mode-j unfolding
+// onto the strided-batch entry points of la/blas.hpp, so the `right_size`
+// tiny per-slab GEMM/SYRK calls of the naive formulation become a single
+// packed kernel invocation and slab transposes are fused into operand
+// packing (mode_gram and contract_all_but_one never materialize a
+// transposed scratch matrix).
 
 #include "la/blas.hpp"
 #include "tensor/tensor.hpp"
 
 namespace rahooi::tensor {
+
+namespace detail {
+/// Test hook: when true, general-mode ttm takes the per-slab GEMM loop
+/// instead of the batched kernel. Exists solely so tests can cross-validate
+/// the two paths; never set this on a hot path.
+extern bool g_force_ttm_slab_fallback;
+}  // namespace detail
 
 /// Y = X x_mode op(U).
 ///
@@ -20,8 +34,19 @@ Tensor<T> ttm(const Tensor<T>& x, int mode, la::ConstMatrixRef<T> u,
 
 /// Multi-TTM: applies op(U_j) in every mode j in `modes`, in the given
 /// order. `factors[j]` must have valid shape for each j in `modes`.
+/// `modes` must be non-empty (an empty multi-TTM is the identity, and the
+/// copy it would imply is never what a caller wants; use the rvalue
+/// overload when the mode list can be empty).
 template <typename T>
 Tensor<T> multi_ttm(const Tensor<T>& x,
+                    const std::vector<la::ConstMatrixRef<T>>& factors,
+                    const std::vector<int>& modes,
+                    la::Op op = la::Op::transpose);
+
+/// Multi-TTM taking ownership of x. With empty `modes` this is the identity
+/// and returns the moved-in tensor without copying.
+template <typename T>
+Tensor<T> multi_ttm(Tensor<T>&& x,
                     const std::vector<la::ConstMatrixRef<T>>& factors,
                     const std::vector<int>& modes,
                     la::Op op = la::Op::transpose);
@@ -36,6 +61,7 @@ Tensor<T> multi_ttm_skip(const Tensor<T>& x,
 /// Gram matrix of the mode-j unfolding: G = X_(j) X_(j)^T, shape
 /// (dim(j) x dim(j)). Uses SYRK-style symmetric accumulation (~size*dim(j)
 /// flops), matching the n^{d+1}/P Gram accounting in the paper's Table 1.
+/// For general modes the slab transpose is fused into kernel packing.
 template <typename T>
 la::Matrix<T> mode_gram(const Tensor<T>& x, int mode);
 

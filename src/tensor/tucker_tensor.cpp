@@ -35,6 +35,7 @@ Tensor<T> TuckerTensor<T>::reconstruct() const {
   for (const auto& u : factors) refs.push_back(u.cref());
   std::vector<int> modes(core.ndims());
   for (int j = 0; j < core.ndims(); ++j) modes[j] = j;
+  if (modes.empty()) return core;  // 0-d Tucker: reconstruction is the core
   return multi_ttm(core, refs, modes, la::Op::none);
 }
 
@@ -56,6 +57,7 @@ Tensor<T> TuckerTensor<T>::reconstruct_region(
   }
   std::vector<int> modes(ndims());
   for (int j = 0; j < ndims(); ++j) modes[j] = j;
+  if (modes.empty()) return core;  // 0-d Tucker: region is the core itself
   return multi_ttm(core, slices, modes, la::Op::none);
 }
 

@@ -193,6 +193,51 @@ TEST(Ttm, ContractionRejectsMismatchedDims) {
   EXPECT_THROW(contract_all_but_one(y, g, 0), precondition_error);
 }
 
+TYPED_TEST(TtmTyped, BatchedGeneralModeMatchesSlabFallback) {
+  using T = TypeParam;
+  // Cross-validate the strided-batch TTM path against the per-slab GEMM
+  // loop it replaced, in both truncation and expansion directions.
+  auto x = random_tensor<T>({5, 7, 3, 4}, 620);
+  for (int mode = 1; mode < 4; ++mode) {
+    for (la::Op op : {la::Op::transpose, la::Op::none}) {
+      auto u = (op == la::Op::transpose)
+                   ? random_matrix<T>(x.dim(mode), 2, 621 + mode)
+                   : random_matrix<T>(6, x.dim(mode), 631 + mode);
+      auto batched = ttm(x, mode, u.cref(), op);
+      detail::g_force_ttm_slab_fallback = true;
+      auto slab = ttm(x, mode, u.cref(), op);
+      detail::g_force_ttm_slab_fallback = false;
+      EXPECT_LT(max_diff(batched, slab), 10 * testutil::type_tol<T>())
+          << "mode " << mode << " op " << static_cast<int>(op);
+    }
+  }
+}
+
+TEST(Ttm, MultiTtmEmptyModesMovesInsteadOfCopying) {
+  auto x = random_tensor<double>({4, 3, 2}, 640);
+  const double* buf = x.data();
+  std::vector<la::ConstMatrixRef<double>> refs(3);
+  auto y = multi_ttm(std::move(x), refs, {});
+  EXPECT_EQ(y.data(), buf);  // identity path must not deep-copy
+}
+
+TEST(Ttm, MultiTtmLvalueEmptyModesThrows) {
+  auto x = random_tensor<double>({4, 3, 2}, 641);
+  std::vector<la::ConstMatrixRef<double>> refs(3);
+  EXPECT_THROW(multi_ttm(x, refs, {}), precondition_error);
+}
+
+TEST(Ttm, MultiTtmRvalueNonEmptyStillApplies) {
+  auto x = random_tensor<double>({4, 3, 2}, 642);
+  auto keep = x;
+  auto u = testutil::random_matrix<double>(3, 2, 643);
+  std::vector<la::ConstMatrixRef<double>> refs(3);
+  refs[1] = u.cref();
+  auto moved = multi_ttm(std::move(x), refs, {1});
+  auto plain = multi_ttm(keep, refs, {1});
+  EXPECT_LT(max_diff(moved, plain), 1e-14);
+}
+
 TEST(Ttm, IdentityFactorIsNoOp) {
   auto x = random_tensor<double>({3, 4, 2}, 610);
   auto eye = la::Matrix<double>::identity(4);
