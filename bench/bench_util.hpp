@@ -6,6 +6,8 @@
 
 #include <cstdio>
 #include <functional>
+#include <initializer_list>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,7 @@
 #include "core/hooi.hpp"
 #include "core/rank_adaptive.hpp"
 #include "model/cost_model.hpp"
+#include "prof/report.hpp"
 
 namespace rahooi::bench {
 
@@ -26,22 +29,44 @@ using la::idx_t;
 struct RunResult {
   double seconds = 0.0;
   Stats stats;
+  /// Per-rank span traces of the timed region (empty unless the run was
+  /// profiled). The breakdown benches read their phase columns from here.
+  std::vector<prof::Recorder> traces;
+
+  /// Seconds attributed to `ph` on rank 0, from the profiler trace when the
+  /// run was profiled (aggregated span self-times; see
+  /// prof::Recorder::phase_seconds) and from the Stats phase timers
+  /// otherwise. Both attributions are innermost-wins, so summing over all
+  /// phases recovers the wall time of the run's root span.
+  double phase_seconds(Phase ph) const {
+    return traces.empty()
+               ? stats.seconds[static_cast<int>(ph)]
+               : traces[0].phase_seconds()[static_cast<int>(ph)];
+  }
 };
 
 /// Runs a setup + timed-work pair on `p` rank-threads. `body(world)`
 /// performs untimed setup (grid construction, dataset generation) and
 /// returns the closure whose execution is timed between barriers. All ranks
-/// must run the identical SPMD region.
+/// must run the identical SPMD region. With `profile` set, a prof::Recorder
+/// is installed on each rank around the timed closure only (setup is not
+/// traced) and the traces are returned in RunResult::traces.
 inline RunResult timed_run(
-    int p,
-    const std::function<std::function<void()>(comm::Comm&)>& body) {
+    int p, const std::function<std::function<void()>(comm::Comm&)>& body,
+    bool profile = false) {
   RunResult out;
   std::vector<Stats> per_rank;
+  std::vector<prof::Recorder> traces(profile ? p : 0);
   comm::Runtime::run(
       p,
       [&](comm::Comm& world) {
         const std::function<void()> work = body(world);
         world.barrier();
+        std::optional<prof::ScopedRecorder> rec;
+        if (profile) {
+          traces[world.rank()].set_rank(world.rank());
+          rec.emplace(traces[world.rank()]);
+        }
         Stopwatch clock;
         work();
         world.barrier();
@@ -49,7 +74,27 @@ inline RunResult timed_run(
       },
       &per_rank);
   out.stats = per_rank[0];
+  out.traces = std::move(traces);
   return out;
+}
+
+/// Appends one per-phase seconds column for each phase in `phases` — the
+/// breakdown-table boilerplate shared by the Fig. 3 and Fig. 5/7/9 benches.
+/// Column order must match the header order declared by the caller.
+inline void add_phase_columns(CsvTable& table, const RunResult& res,
+                              std::initializer_list<Phase> phases) {
+  for (const Phase ph : phases) table.add(res.phase_seconds(ph));
+}
+
+/// Sum of every phase column; with innermost-wins attribution this equals
+/// the wall time of the run's root span, so the breakdown benches can check
+/// their columns really account for the measured total.
+inline double phase_seconds_total(const RunResult& res) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    sum += res.phase_seconds(static_cast<Phase>(i));
+  }
+  return sum;
 }
 
 /// The five algorithms of the paper's evaluation with their HooiOptions.

@@ -6,7 +6,10 @@
 // (exactly the paper's protocol, §4.2), recording
 //   * the per-iteration progression of time, error, and relative size
 //     (the content of Figs. 4/6/8), and
-//   * the per-phase running-time breakdown (the content of Figs. 5/7/9).
+//   * the per-phase running-time breakdown (the content of Figs. 5/7/9),
+//     read from the rahooi::prof span profiler: every run executes with
+//     per-rank Recorders installed and the phase columns are rank 0's
+//     aggregated span self-times (docs/PROFILING.md maps columns to spans).
 
 #include <cmath>
 #include <functional>
@@ -34,18 +37,15 @@ inline std::vector<idx_t> scale_ranks(const std::vector<idx_t>& r,
 
 inline void breakdown_row(CsvTable& table, const std::string& dataset,
                           double eps, const std::string& label,
-                          double total_s, const Stats& s) {
+                          const RunResult& res) {
   table.begin_row();
   table.add(dataset);
   table.add(eps);
   table.add(label);
-  table.add(total_s);
-  table.add(s.seconds[static_cast<int>(Phase::ttm)]);
-  table.add(s.seconds[static_cast<int>(Phase::gram)]);
-  table.add(s.seconds[static_cast<int>(Phase::evd)]);
-  table.add(s.seconds[static_cast<int>(Phase::contraction)]);
-  table.add(s.seconds[static_cast<int>(Phase::qr)]);
-  table.add(s.seconds[static_cast<int>(Phase::core_analysis)]);
+  table.add(res.seconds);
+  add_phase_columns(table, res,
+                    {Phase::ttm, Phase::gram, Phase::evd, Phase::contraction,
+                     Phase::qr, Phase::core_analysis, Phase::other});
 }
 
 template <typename T>
@@ -56,14 +56,17 @@ void run_ra_study(const std::string& dataset, int p,
   for (const double eps : {0.1, 0.05, 0.01}) {
     // STHOSVD baseline.
     core::TuckerResult<T> st;
-    RunResult st_run = timed_run(p, [&](comm::Comm& world) {
-      auto grid = std::make_shared<dist::ProcessorGrid>(world, grid_dims);
-      auto x = std::make_shared<dist::DistTensor<T>>(make(*grid));
-      return std::function<void()>([grid, x, &world, &st, eps] {
-        auto res = core::sthosvd(*x, eps);
-        if (world.rank() == 0) st = std::move(res);
-      });
-    });
+    RunResult st_run = timed_run(
+        p,
+        [&](comm::Comm& world) {
+          auto grid = std::make_shared<dist::ProcessorGrid>(world, grid_dims);
+          auto x = std::make_shared<dist::DistTensor<T>>(make(*grid));
+          return std::function<void()>([grid, x, &world, &st, eps] {
+            auto res = core::sthosvd(*x, eps);
+            if (world.rank() == 0) st = std::move(res);
+          });
+        },
+        /*profile=*/true);
     // The core DistTensor in `st` refers to a dead grid; only scalar
     // summaries are used below.
     const double full_size = [&] {
@@ -82,8 +85,7 @@ void run_ra_study(const std::string& dataset, int p,
     progress.add(st.relative_error());
     progress.add(double(st.compressed_size()) / full_size);
     progress.add(dims_to_string(st.ranks()));
-    breakdown_row(breakdown, dataset, eps, "STHOSVD", st_run.seconds,
-                  st_run.stats);
+    breakdown_row(breakdown, dataset, eps, "STHOSVD", st_run);
 
     const std::vector<idx_t> perfect = st.ranks();
     struct Start {
@@ -93,19 +95,24 @@ void run_ra_study(const std::string& dataset, int p,
     for (const Start s :
          {Start{"perfect", 1.0}, Start{"over", 1.25}, Start{"under", 0.75}}) {
       core::RankAdaptiveResult<T> ra;
-      RunResult ra_run = timed_run(p, [&](comm::Comm& world) {
-        auto grid = std::make_shared<dist::ProcessorGrid>(world, grid_dims);
-        auto x = std::make_shared<dist::DistTensor<T>>(make(*grid));
-        return std::function<void()>([grid, x, &world, &ra, &perfect, &s, eps] {
-          core::RankAdaptiveOptions opt;
-          opt.tolerance = eps;
-          opt.max_iters = 3;  // the paper's cap
-          const auto start =
-              scale_ranks(perfect, s.factor, x->global_dims());
-          auto res = core::rank_adaptive_hooi(*x, start, opt);
-          if (world.rank() == 0) ra = std::move(res);
-        });
-      });
+      RunResult ra_run = timed_run(
+          p,
+          [&](comm::Comm& world) {
+            auto grid =
+                std::make_shared<dist::ProcessorGrid>(world, grid_dims);
+            auto x = std::make_shared<dist::DistTensor<T>>(make(*grid));
+            return std::function<void()>(
+                [grid, x, &world, &ra, &perfect, &s, eps] {
+                  core::RankAdaptiveOptions opt;
+                  opt.tolerance = eps;
+                  opt.max_iters = 3;  // the paper's cap
+                  const auto start =
+                      scale_ranks(perfect, s.factor, x->global_dims());
+                  auto res = core::rank_adaptive_hooi(*x, start, opt);
+                  if (world.rank() == 0) ra = std::move(res);
+                });
+          },
+          /*profile=*/true);
       const std::string label = std::string("HOSI-DT (") + s.label + ")";
       double cumulative = 0.0;
       for (const auto& it : ra.iterations) {
@@ -121,8 +128,7 @@ void run_ra_study(const std::string& dataset, int p,
         progress.add(double(it.compressed_size) / full_size);
         progress.add(dims_to_string(it.ranks_after));
       }
-      breakdown_row(breakdown, dataset, eps, label, ra_run.seconds,
-                    ra_run.stats);
+      breakdown_row(breakdown, dataset, eps, label, ra_run);
     }
   }
 }
@@ -135,7 +141,7 @@ inline CsvTable progress_table() {
 inline CsvTable breakdown_table() {
   return CsvTable({"dataset", "eps", "algorithm", "total_s", "ttm_s",
                    "gram_s", "evd_s", "contraction_s", "qr_s",
-                   "core_analysis_s"});
+                   "core_analysis_s", "other_s"});
 }
 
 }  // namespace rahooi::bench

@@ -31,6 +31,13 @@ inline io::ParamFile load_params(int argc, char** argv) {
   return io::ParamFile::load(path);
 }
 
+inline bool has_flag(int argc, char** argv, const std::string& name) {
+  for (int i = 1; i < argc; ++i) {
+    if (name == argv[i]) return true;
+  }
+  return false;
+}
+
 template <typename T>
 dist::DistTensor<T> make_input(const io::ParamFile& params,
                                const dist::ProcessorGrid& grid,

@@ -10,7 +10,11 @@
 // "HOOI-Adapt Threshold" > 0 enables the rank-adaptive (error-specified)
 // driver (paper Alg. 3) with that epsilon; 0 runs fixed-rank HOOI.
 //
-//   ./hooi_driver --parameter-file HOOI.cfg
+//   ./hooi_driver --parameter-file HOOI.cfg [--profile]
+//
+// --profile records a per-rank hierarchical span trace of the run and
+// writes it as Chrome trace_event JSON ("Trace file" key, default
+// trace.json); see docs/PROFILING.md.
 //
 // Example configuration (artifact appendix B.1):
 //   Print options = true
@@ -31,13 +35,14 @@
 #include "core/rank_adaptive.hpp"
 #include "driver_common.hpp"
 #include "example_util.hpp"
+#include "prof/report.hpp"
 
 using namespace rahooi;
 
 namespace {
 
 template <typename T>
-int run(const io::ParamFile& params) {
+int run(const io::ParamFile& params, bool profile) {
   const auto dims = params.get_dims("Global dims");
   auto construction = params.get_dims("Construction Ranks");
   auto decomposition = params.get_dims("Decomposition Ranks");
@@ -55,6 +60,7 @@ int run(const io::ParamFile& params) {
       params.get_bool("Dimension Tree Memoization", false);
   hooi_opts.max_iters = static_cast<int>(params.get_int("HOOI max iters", 2));
   hooi_opts.seed = static_cast<std::uint64_t>(params.get_int("Seed", 1));
+  hooi_opts.profile = profile;
   const double adapt = params.get_double("HOOI-Adapt Threshold", 0.0);
   const bool timings = params.get_bool("Print timings", false);
 
@@ -65,6 +71,7 @@ int run(const io::ParamFile& params) {
   for (const int g : gdims) p *= g;
 
   std::vector<Stats> per_rank;
+  std::vector<prof::Recorder> traces;
   comm::Runtime::run(
       p,
       [&](comm::Comm& world) {
@@ -121,8 +128,20 @@ int run(const io::ParamFile& params) {
           }
         }
       },
-      &per_rank);
+      &per_rank, profile ? &traces : nullptr);
   if (timings) examples::print_timing_breakdown(per_rank[0]);
+  if (profile) {
+    const std::string trace_path =
+        params.get_string("Trace file", "trace.json");
+    prof::write_chrome_trace(trace_path, traces);
+    std::size_t events = 0;
+    for (const auto& t : traces) events += t.events().size();
+    std::printf("profile: %zu spans on %d ranks; Chrome trace written to %s "
+                "(open at chrome://tracing or https://ui.perfetto.dev)\n",
+                events, p, trace_path.c_str());
+    std::printf("top spans by per-rank max inclusive time:\n%s\n",
+                prof::aggregate_pretty(prof::aggregate(traces), 12).c_str());
+  }
   return 0;
 }
 
@@ -134,9 +153,14 @@ int main(int argc, char** argv) {
     if (params.get_bool("Print options", false)) {
       std::printf("parsed options:\n%s\n", params.to_string().c_str());
     }
+    // `--profile` (or `Profile = true` in the parameter file) traces the run
+    // with per-rank prof::Recorders and writes a Chrome trace_event JSON to
+    // "Trace file" (default trace.json).
+    const bool profile = examples::has_flag(argc, argv, "--profile") ||
+                         params.get_bool("Profile", false);
     return params.get_bool("Single precision", true)
-               ? run<float>(params)
-               : run<double>(params);
+               ? run<float>(params, profile)
+               : run<double>(params, profile);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

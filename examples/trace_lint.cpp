@@ -1,0 +1,43 @@
+// Validates a Chrome trace_event JSON file emitted by the rahooi profiler:
+// syntactically valid JSON, a traceEvents array, one lane per expected rank,
+// and every required span name present. Exit code 0 on success, 1 on a
+// validation failure, 2 on usage/IO errors — the CI smoke test chains this
+// after `hooi_driver --profile` (see tests/CMakeLists.txt).
+//
+//   ./trace_lint <trace.json> <expect_ranks> [required-span-name...]
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "prof/report.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: trace_lint <trace.json> <expect_ranks> "
+                 "[required-span-name...]\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in.good()) {
+    std::fprintf(stderr, "trace_lint: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const int expect_ranks = std::atoi(argv[2]);
+  const std::vector<std::string> required(argv + 3, argv + argc);
+  std::string error;
+  if (!rahooi::prof::validate_chrome_trace(buf.str(), expect_ranks, required,
+                                           &error)) {
+    std::fprintf(stderr, "trace_lint: %s: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+  std::printf("trace_lint: %s OK (%d rank lanes, %zu required spans)\n",
+              argv[1], expect_ranks, required.size());
+  return 0;
+}

@@ -21,6 +21,7 @@
 #include "comm/context.hpp"
 #include "common/contracts.hpp"
 #include "common/stats.hpp"
+#include "prof/trace.hpp"
 
 namespace rahooi::comm {
 
@@ -36,11 +37,15 @@ class Comm {
   int size() const { return ctx_ ? ctx_->size() : 1; }
   bool valid() const { return ctx_ != nullptr; }
 
-  void barrier() const { ctx_->barrier_wait(); }
+  void barrier() const {
+    prof::TraceSpan span("barrier");
+    ctx_->barrier_wait();
+  }
 
   /// Root's buffer is copied to every rank.
   template <typename T>
   void bcast(T* data, idx_t n, int root) const {
+    prof::TraceSpan span("bcast");
     RAHOOI_REQUIRE(root >= 0 && root < size(), "bcast: bad root");
     if (size() == 1) return;
     ctx_->post(rank_, SlotEntry{data, data, nullptr, 0});
@@ -56,6 +61,7 @@ class Comm {
   /// Element-wise sum of all ranks' `in` arrays lands in `out` on root.
   template <typename T>
   void reduce_sum(const T* in, T* out, idx_t n, int root) const {
+    prof::TraceSpan span("reduce");
     RAHOOI_REQUIRE(root >= 0 && root < size(), "reduce: bad root");
     if (size() == 1) {
       if (out != in) std::copy(in, in + n, out);
@@ -85,6 +91,7 @@ class Comm {
   /// subsequent collectives.
   template <typename T>
   void allreduce_sum(T* data, idx_t n) const {
+    prof::TraceSpan span("allreduce");
     if (size() == 1) return;
     ctx_->post(rank_, SlotEntry{data, nullptr, nullptr, 0});
     ctx_->barrier_wait();
@@ -114,6 +121,7 @@ class Comm {
   template <typename T>
   void reduce_scatter_sum(const T* in, T* out,
                           const std::vector<idx_t>& counts) const {
+    prof::TraceSpan span("reduce_scatter");
     RAHOOI_REQUIRE(static_cast<int>(counts.size()) == size(),
                    "reduce_scatter: counts size != communicator size");
     const idx_t total = std::accumulate(counts.begin(), counts.end(),
@@ -143,6 +151,7 @@ class Comm {
   /// identical on all ranks.
   template <typename T>
   void allgatherv(const T* in, T* out, const std::vector<idx_t>& counts) const {
+    prof::TraceSpan span("allgatherv");
     RAHOOI_REQUIRE(static_cast<int>(counts.size()) == size(),
                    "allgatherv: counts size != communicator size");
     if (size() == 1) {
@@ -177,6 +186,7 @@ class Comm {
   void alltoallv(const T* in, const std::vector<idx_t>& sdispls, T* out,
                  const std::vector<idx_t>& recvcounts,
                  const std::vector<idx_t>& rdispls) const {
+    prof::TraceSpan span("alltoallv");
     RAHOOI_REQUIRE(static_cast<int>(sdispls.size()) == size() &&
                        static_cast<int>(recvcounts.size()) == size() &&
                        static_cast<int>(rdispls.size()) == size(),
@@ -199,12 +209,14 @@ class Comm {
   /// Blocking tagged point-to-point.
   template <typename T>
   void send(const T* data, idx_t n, int dest, int tag) const {
+    prof::TraceSpan span("send");
     ctx_->send_bytes(dest, rank_, tag, data, sizeof(T) * n);
     stats::add_comm(CollectiveKind::point_to_point, bytes_of<T>(n));
   }
 
   template <typename T>
   void recv(T* data, idx_t n, int source, int tag) const {
+    prof::TraceSpan span("recv");
     ctx_->recv_bytes(rank_, source, tag, data, sizeof(T) * n);
   }
 

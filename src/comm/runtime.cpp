@@ -1,6 +1,7 @@
 #include "comm/runtime.hpp"
 
 #include <exception>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -9,11 +10,13 @@
 namespace rahooi::comm {
 
 void Runtime::run(int p, const std::function<void(Comm&)>& fn,
-                  std::vector<Stats>* rank_stats) {
+                  std::vector<Stats>* rank_stats,
+                  std::vector<prof::Recorder>* rank_traces) {
   RAHOOI_REQUIRE(p >= 1, "need at least one rank");
   auto ctx = std::make_shared<Context>(p);
 
   std::vector<Stats> stats_store(p);
+  std::vector<prof::Recorder> trace_store(rank_traces != nullptr ? p : 0);
   std::vector<std::exception_ptr> errors(p);
   std::vector<std::thread> threads;
   threads.reserve(p);
@@ -21,6 +24,11 @@ void Runtime::run(int p, const std::function<void(Comm&)>& fn,
   for (int r = 0; r < p; ++r) {
     threads.emplace_back([&, r] {
       ScopedStats tracked(stats_store[r]);
+      std::optional<prof::ScopedRecorder> traced;
+      if (rank_traces != nullptr) {
+        trace_store[r].set_rank(r);
+        traced.emplace(trace_store[r]);
+      }
       Comm world(ctx, r);
       try {
         fn(world);
@@ -32,6 +40,7 @@ void Runtime::run(int p, const std::function<void(Comm&)>& fn,
   for (auto& t : threads) t.join();
 
   if (rank_stats != nullptr) *rank_stats = std::move(stats_store);
+  if (rank_traces != nullptr) *rank_traces = std::move(trace_store);
   for (const auto& err : errors) {
     if (err) std::rethrow_exception(err);
   }

@@ -15,8 +15,13 @@ class Runtime {
   /// throws, the first exception (by rank order) is rethrown after every
   /// thread has been joined. Each rank thread gets its own Stats object
   /// installed; `rank_stats` (if non-null) receives the per-rank records.
+  /// When `rank_traces` is non-null, each rank thread additionally gets a
+  /// prof::Recorder installed (rank-labelled) and the vector receives the
+  /// per-rank traces — the full-run profiling entry point used by
+  /// `hooi_driver --profile`.
   static void run(int p, const std::function<void(Comm&)>& fn,
-                  std::vector<Stats>* rank_stats = nullptr);
+                  std::vector<Stats>* rank_stats = nullptr,
+                  std::vector<prof::Recorder>* rank_traces = nullptr);
 };
 
 }  // namespace rahooi::comm

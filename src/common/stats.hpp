@@ -123,6 +123,12 @@ class PhaseScope {
 
 /// Accumulates wall time into the current Stats' per-phase seconds and sets
 /// the attribution phase, i.e. PhaseScope plus timing.
+///
+/// Attribution is *innermost-wins*: when phase-timed scopes nest (e.g. an
+/// EVD timer inside a Gram timer, or prof::TraceSpan regions that carry a
+/// Phase tag), each scope contributes its duration minus the time spent in
+/// nested phase-timed scopes, so summing Stats::seconds never double-counts
+/// and the total equals the outermost scope's wall time.
 class PhaseTimer {
  public:
   explicit PhaseTimer(Phase p);
@@ -151,8 +157,25 @@ void add_flops(double n);
 /// Record a collective: `bytes` sent by this rank, one message.
 void add_comm(CollectiveKind k, double bytes);
 
-/// Monotonic wall-clock in seconds (shared by all timing in the library).
+/// Monotonic clock in seconds (shared by all timing in the library —
+/// Stopwatch, PhaseTimer, prof::TraceSpan). Backed by steady_clock, so
+/// elapsed times can never go negative under wall-clock adjustment, and
+/// the epoch is process-wide: timestamps taken on different rank threads
+/// are directly comparable (the Chrome-trace lanes rely on this).
 double now();
+
+/// Internal plumbing for innermost-wins phase-time attribution, shared by
+/// PhaseTimer and phase-tagged prof::TraceSpan. phase_frame_push() opens a
+/// timing frame on this thread; phase_frame_pop(dur) closes it, charges
+/// `dur` to the parent frame, and returns the frame's self time (`dur`
+/// minus time consumed by nested frames, clamped at 0).
+void phase_frame_push();
+double phase_frame_pop(double dur);
+
+/// Sets this thread's attribution phase, returning the previous one
+/// (the non-RAII primitive under PhaseScope; prof::TraceSpan uses it to
+/// avoid holding an optional scope).
+Phase swap_phase(Phase p);
 
 }  // namespace stats
 

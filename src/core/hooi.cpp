@@ -1,9 +1,11 @@
 #include "core/hooi.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "common/rng.hpp"
 #include "core/dimension_tree.hpp"
+#include "prof/trace.hpp"
 
 namespace rahooi::core {
 
@@ -77,9 +79,10 @@ dist::DistTensor<T> sweep_direct(const dist::DistTensor<T>& x,
   const int d = x.ndims();
   dist::DistTensor<T> core;
   for (int j = 0; j < d; ++j) {
+    prof::TraceSpan mode_span("mode", static_cast<std::int64_t>(j));
     dist::DistTensor<T> y;
     {
-      PhaseTimer t(Phase::ttm);
+      prof::TraceSpan t("multi_ttm", Phase::ttm);
       const dist::DistTensor<T>* src = &x;
       for (int i = 0; i < d; ++i) {
         if (i == j) continue;
@@ -89,7 +92,7 @@ dist::DistTensor<T> sweep_direct(const dist::DistTensor<T>& x,
     }
     leaf_update(y, j, factors, ranks, options, sweep_index);
     if (j == d - 1) {
-      PhaseTimer t(Phase::ttm);
+      prof::TraceSpan t("core_ttm", Phase::ttm);
       core = dist::dist_ttm(y, j, factors[j].cref());
     }
   }
@@ -108,9 +111,10 @@ void sweep_tree_recurse(const dist::DistTensor<T>& node,
                         int d, dist::DistTensor<T>& core) {
   if (modes.size() == 1) {
     const int m = modes[0];
+    prof::TraceSpan mode_span("mode", static_cast<std::int64_t>(m));
     leaf_update(node, m, factors, ranks, options, sweep_index);
     if (m == d - 1) {
-      PhaseTimer t(Phase::ttm);
+      prof::TraceSpan t("core_ttm", Phase::ttm);
       core = dist::dist_ttm(node, m, factors[m].cref());
     }
     return;
@@ -124,7 +128,7 @@ void sweep_tree_recurse(const dist::DistTensor<T>& node,
   {
     dist::DistTensor<T> a;
     {
-      PhaseTimer t(Phase::ttm);
+      prof::TraceSpan t("tree_ttm", Phase::ttm);
       const dist::DistTensor<T>* src = &node;
       for (auto it = eta.rbegin(); it != eta.rend(); ++it) {
         a = dist::dist_ttm(*src, *it, factors[*it].cref());
@@ -138,7 +142,7 @@ void sweep_tree_recurse(const dist::DistTensor<T>& node,
   {
     dist::DistTensor<T> b;
     {
-      PhaseTimer t(Phase::ttm);
+      prof::TraceSpan t("tree_ttm", Phase::ttm);
       const dist::DistTensor<T>* src = &node;
       for (const int i : mu) {
         b = dist::dist_ttm(*src, i, factors[i].cref());
@@ -174,10 +178,11 @@ dist::DistTensor<T> hooi_sweep(const dist::DistTensor<T>& x,
                  "hooi_sweep: one factor per mode required");
   RAHOOI_REQUIRE(static_cast<int>(ranks.size()) == x.ndims(),
                  "hooi_sweep: one rank per mode required");
+  prof::TraceSpan span("sweep", static_cast<std::int64_t>(sweep_index));
   if (x.ndims() == 1) {
     // Degenerate single-mode case: HOOI reduces to one LLSV of X itself.
     leaf_update(x, 0, factors, ranks, options, sweep_index);
-    PhaseTimer t(Phase::ttm);
+    prof::TraceSpan t("core_ttm", Phase::ttm);
     return dist::dist_ttm(x, 0, factors[0].cref());
   }
   return options.use_dimension_tree
@@ -191,6 +196,14 @@ HooiResult<T> hooi(const dist::DistTensor<T>& x,
                    const HooiOptions& options) {
   RAHOOI_REQUIRE(options.max_iters >= 1, "hooi: need at least one sweep");
   HooiResult<T> out;
+  std::optional<prof::ScopedRecorder> installed;
+  if (options.profile && prof::recorder() == nullptr) {
+    out.trace = std::make_shared<prof::Recorder>(x.grid().world().rank());
+    installed.emplace(*out.trace);
+  }
+  // Root span tagged Phase::other: every second of the run lands in some
+  // phase bucket, so the per-phase breakdown sums to this span's wall time.
+  prof::TraceSpan root("hooi", Phase::other);
   out.decomposition.x_norm_sq = x.norm_squared();
   out.decomposition.factors =
       random_factors<T>(x.global_dims(), ranks, options.seed);

@@ -4,10 +4,12 @@
 // LLSV (Alg. 5), in the four combinations evaluated in the paper
 // (HOOI / HOOI-DT / HOSI / HOSI-DT; see core/options.hpp).
 
+#include <memory>
 #include <vector>
 
 #include "core/options.hpp"
 #include "core/sthosvd.hpp"
+#include "prof/trace.hpp"
 
 namespace rahooi::core {
 
@@ -17,6 +19,10 @@ struct HooiResult {
   int iterations = 0;
   /// Relative error after each sweep (via the core-norm identity).
   std::vector<double> error_history;
+  /// This rank's span trace, present when HooiOptions::profile asked hooi()
+  /// to install its own Recorder (null when profiling was off or a Recorder
+  /// was already installed, e.g. by comm::Runtime::run's rank_traces).
+  std::shared_ptr<prof::Recorder> trace;
 };
 
 /// Random orthonormal factor matrices (dims[j] x ranks[j]), generated

@@ -5,6 +5,7 @@
 #include "common/stats.hpp"
 #include "core/options.hpp"
 #include "la/svd.hpp"
+#include "prof/trace.hpp"
 
 namespace rahooi::core {
 
@@ -39,14 +40,15 @@ namespace {
 template <typename T>
 GramLlsv<T> llsv_gram_impl(const dist::DistTensor<T>& x, int mode,
                            idx_t fixed_rank, double tau_sq) {
+  prof::TraceSpan span("llsv");
   la::Matrix<T> gram;
   {
-    PhaseTimer t(Phase::gram);
+    prof::TraceSpan t("gram", Phase::gram);
     gram = dist::dist_mode_gram(x, mode);
   }
   la::EvdResult<T> evd;
   {
-    PhaseTimer t(Phase::evd);
+    prof::TraceSpan t("evd", Phase::evd);
     evd = la::sym_evd<T>(gram.cref());
   }
   GramLlsv<T> out;
@@ -77,18 +79,19 @@ GramLlsv<T> llsv_gram_tol(const dist::DistTensor<T>& x, int mode,
 template <typename T>
 GramLlsv<T> llsv_qr_svd(const dist::DistTensor<T>& x, int mode, idx_t rank,
                         double tau_sq) {
+  prof::TraceSpan span("llsv");
   la::Matrix<T> r_factor;
   {
     // Attributed to the Gram phase: it plays the same role in the
     // breakdown (the parallel reduction of the unfolding).
-    PhaseTimer t(Phase::gram);
+    prof::TraceSpan t("tsqr_r", Phase::gram);
     r_factor = dist::dist_mode_tsqr_r(x, mode);
   }
   const idx_t n = x.global_dim(mode);
   GramLlsv<T> out;
   {
     // Small sequential factorization replacing the EVD in the breakdown.
-    PhaseTimer t(Phase::evd);
+    prof::TraceSpan t("r_svd", Phase::evd);
     // R is exactly upper triangular (zeros below the diagonal), so a full
     // transpose yields the lower-triangular L = R^T directly.
     la::Matrix<T> l(n, n);
@@ -116,6 +119,7 @@ la::Matrix<T> llsv_subspace_iteration(const dist::DistTensor<T>& x, int mode,
   RAHOOI_REQUIRE(steps >= 1, "llsv_si: need at least one iteration");
   const idx_t r = u_prev.cols();
 
+  prof::TraceSpan span("llsv");
   la::Matrix<T> u = u_prev;
   for (int step = 0; step < steps; ++step) {
     // Alg. 5 line 2: G = U^T A is the TTM X x_mode U^T — the current core
@@ -125,18 +129,18 @@ la::Matrix<T> llsv_subspace_iteration(const dist::DistTensor<T>& x, int mode,
     // LLSV work from the sweep's multi-TTMs.
     dist::DistTensor<T> g;
     {
-      PhaseTimer t(Phase::contraction);
+      prof::TraceSpan t("si_ttm", Phase::contraction);
       g = dist::dist_ttm(x, mode, u.cref());
     }
     // Alg. 5 line 3: Z = A G^T, the all-but-one contraction; replicated.
     la::Matrix<T> z;
     {
-      PhaseTimer t(Phase::contraction);
+      prof::TraceSpan t("si_contract", Phase::contraction);
       z = dist::dist_contract_all_but_one(x, g, mode);
     }
     // Alg. 5 line 4: QRCP, replicated (sequential QR in the paper's cost
     // model). Each rank computes the identical factorization.
-    PhaseTimer t(Phase::qr);
+    prof::TraceSpan t("qrcp", Phase::qr);
     u = la::qrcp<T>(z.cref(), r).q;
   }
   return u;

@@ -39,6 +39,13 @@ struct HooiOptions {
   /// count).
   double convergence_tol = 0.0;
   std::uint64_t seed = 1;           ///< random factor initialization seed
+  /// Record a hierarchical trace of the run (prof::TraceSpan events). When
+  /// set and no prof::Recorder is already installed on the calling thread,
+  /// hooi() and rank_adaptive_hooi() install one and hand it back in
+  /// their result's `trace` field. Off by default: with no recorder
+  /// installed a span is one thread-local load and a branch, so the
+  /// instrumented hot paths run at full speed (see docs/PROFILING.md).
+  bool profile = false;
 };
 
 /// How ranks evolve when the error threshold is not yet met.

@@ -1,9 +1,11 @@
 #include "core/rank_adaptive.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
+#include "prof/trace.hpp"
 
 namespace rahooi::core {
 
@@ -127,6 +129,14 @@ RankAdaptiveResult<T> rank_adaptive_hooi(
                  "rank_adaptive_hooi: growth factor must exceed 1");
 
   RankAdaptiveResult<T> out;
+  std::optional<prof::ScopedRecorder> installed;
+  if (options.hooi.profile && prof::recorder() == nullptr) {
+    out.trace = std::make_shared<prof::Recorder>(x.grid().world().rank());
+    installed.emplace(*out.trace);
+  }
+  // Root span tagged Phase::other: the per-phase breakdown sums to the
+  // whole run's wall time (see prof/trace.hpp).
+  prof::TraceSpan root("ra", Phase::other);
   out.x_norm_sq = x.norm_squared();
   const double target_sq =
       (1.0 - options.tolerance * options.tolerance) * out.x_norm_sq;
@@ -140,6 +150,7 @@ RankAdaptiveResult<T> rank_adaptive_hooi(
       random_factors<T>(x.global_dims(), ranks, options.hooi.seed);
 
   for (int iter = 1; iter <= options.max_iters; ++iter) {
+    prof::TraceSpan iter_span("iteration", static_cast<std::int64_t>(iter));
     RaIterationRecord rec;
     rec.index = iter;
     rec.sweep_ranks = ranks;
@@ -164,7 +175,7 @@ RankAdaptiveResult<T> rank_adaptive_hooi(
       tensor::Tensor<T> full_core;
       CoreAnalysis analysis;
       {
-        PhaseTimer t(Phase::core_analysis);
+        prof::TraceSpan t("core_analysis", Phase::core_analysis);
         full_core = core.allgather_full();
         analysis = analyze_core(full_core, x.global_dims(), target_sq);
       }
@@ -201,7 +212,7 @@ RankAdaptiveResult<T> rank_adaptive_hooi(
       if (options.strategy == AdaptStrategy::modewise) {
         // Mode-wise expansion/contraction driven by the core's per-mode
         // slice spectra (Xiao & Yang-style, §2.3).
-        PhaseTimer t(Phase::core_analysis);
+        prof::TraceSpan t("modewise_analysis", Phase::core_analysis);
         const tensor::Tensor<T> full_core = core.allgather_full();
         const double per_mode_budget_sq =
             options.tolerance * options.tolerance * out.x_norm_sq / d;
@@ -217,14 +228,17 @@ RankAdaptiveResult<T> rank_adaptive_hooi(
               std::min(x.global_dim(j), std::max(target, ranks[j] + 1));
         }
       }
-      for (int j = 0; j < d; ++j) {
-        if (next[j] > ranks[j]) {
-          factors[j] = grow_factor(factors[j], next[j],
-                                   options.hooi.seed + 7919 * iter + j);
-        } else if (next[j] < ranks[j]) {
-          // Column pivoting / eigen-ordering concentrates energy in the
-          // leading columns, so contraction keeps the leading block.
-          factors[j] = factors[j].leading_block(factors[j].rows(), next[j]);
+      {
+        prof::TraceSpan grow_span("grow_factors");
+        for (int j = 0; j < d; ++j) {
+          if (next[j] > ranks[j]) {
+            factors[j] = grow_factor(factors[j], next[j],
+                                     options.hooi.seed + 7919 * iter + j);
+          } else if (next[j] < ranks[j]) {
+            // Column pivoting / eigen-ordering concentrates energy in the
+            // leading columns, so contraction keeps the leading block.
+            factors[j] = factors[j].leading_block(factors[j].rows(), next[j]);
+          }
         }
       }
       ranks = next;

@@ -44,6 +44,11 @@ struct RankAdaptiveResult {
     for (const auto& u : tucker.factors) full *= u.rows();
     return static_cast<double>(compressed_size) / full;
   }
+
+  /// This rank's span trace, present when RankAdaptiveOptions::hooi.profile
+  /// asked rank_adaptive_hooi() to install its own Recorder (null when
+  /// profiling was off or a Recorder was already installed).
+  std::shared_ptr<prof::Recorder> trace;
 };
 
 template <typename T>

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "prof/trace.hpp"
+
 namespace rahooi::core {
 
 template <typename T>
@@ -39,6 +41,9 @@ TuckerResult<T> sthosvd_impl(const dist::DistTensor<T>& x, double eps,
                              const std::vector<idx_t>* fixed_ranks,
                              LlsvKernel kernel) {
   const int d = x.ndims();
+  // Root span tagged Phase::other so the per-phase seconds sum to the
+  // algorithm's wall time (see prof/trace.hpp).
+  prof::TraceSpan root("sthosvd", Phase::other);
   TuckerResult<T> out;
   out.x_norm_sq = x.norm_squared();
   const double tau_sq = eps * eps * out.x_norm_sq / d;
@@ -46,6 +51,7 @@ TuckerResult<T> sthosvd_impl(const dist::DistTensor<T>& x, double eps,
   dist::DistTensor<T> y = x;
   out.factors.reserve(d);
   for (int j = 0; j < d; ++j) {
+    prof::TraceSpan mode_span("mode", static_cast<std::int64_t>(j));
     const idx_t fixed = fixed_ranks != nullptr ? (*fixed_ranks)[j] : 0;
     GramLlsv<T> llsv =
         kernel == LlsvKernel::qr_svd
@@ -53,7 +59,7 @@ TuckerResult<T> sthosvd_impl(const dist::DistTensor<T>& x, double eps,
             : (fixed > 0 ? llsv_gram(y, j, fixed)
                          : llsv_gram_tol(y, j, tau_sq));
     {
-      PhaseTimer t(Phase::ttm);
+      prof::TraceSpan t("ttm", Phase::ttm);
       y = dist::dist_ttm(y, j, llsv.u.cref());
     }
     out.factors.push_back(std::move(llsv.u));

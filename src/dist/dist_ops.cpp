@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "la/qr.hpp"
+#include "prof/trace.hpp"
 #include "tensor/ttm.hpp"
 
 namespace rahooi::dist {
@@ -10,6 +11,7 @@ namespace rahooi::dist {
 template <typename T>
 DistTensor<T> dist_ttm(const DistTensor<T>& x, int mode,
                        la::ConstMatrixRef<T> u) {
+  prof::TraceSpan span("dist_ttm", static_cast<std::int64_t>(mode));
   const ProcessorGrid& grid = x.grid();
   RAHOOI_REQUIRE(mode >= 0 && mode < x.ndims(), "dist_ttm: bad mode");
   RAHOOI_REQUIRE(u.rows == x.global_dim(mode),
@@ -63,6 +65,7 @@ DistTensor<T> dist_ttm(const DistTensor<T>& x, int mode,
 
 template <typename T>
 la::Matrix<T> redistribute_mode(const DistTensor<T>& x, int mode) {
+  prof::TraceSpan span("redistribute", static_cast<std::int64_t>(mode));
   const ProcessorGrid& grid = x.grid();
   RAHOOI_REQUIRE(mode >= 0 && mode < x.ndims(),
                  "redistribute_mode: bad mode");
@@ -132,6 +135,7 @@ la::Matrix<T> redistribute_mode(const DistTensor<T>& x, int mode) {
 
 template <typename T>
 la::Matrix<T> dist_mode_gram(const DistTensor<T>& x, int mode) {
+  prof::TraceSpan span("dist_gram", static_cast<std::int64_t>(mode));
   la::Matrix<T> cols = redistribute_mode(x, mode);
   const idx_t n = x.global_dim(mode);
   la::Matrix<T> gram(n, n);
@@ -143,6 +147,7 @@ la::Matrix<T> dist_mode_gram(const DistTensor<T>& x, int mode) {
 template <typename T>
 la::Matrix<T> dist_contract_all_but_one(const DistTensor<T>& y,
                                         const DistTensor<T>& g, int mode) {
+  prof::TraceSpan span("contract", static_cast<std::int64_t>(mode));
   RAHOOI_REQUIRE(&y.grid() == &g.grid(),
                  "contraction operands must share a processor grid");
   for (int j = 0; j < y.ndims(); ++j) {
@@ -162,6 +167,7 @@ la::Matrix<T> dist_contract_all_but_one(const DistTensor<T>& y,
 
 template <typename T>
 la::Matrix<T> dist_mode_tsqr_r(const DistTensor<T>& x, int mode) {
+  prof::TraceSpan span("tsqr", static_cast<std::int64_t>(mode));
   const idx_t n = x.global_dim(mode);
   la::Matrix<T> cols = redistribute_mode(x, mode);
 

@@ -1,0 +1,314 @@
+#include "prof/report.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace rahooi::prof {
+
+namespace {
+
+struct PathAccum {
+  std::uint64_t count = 0;
+  double flops = 0.0;
+  double comm_bytes = 0.0;
+  std::uint64_t messages = 0;
+  std::map<int, double> rank_seconds;  // rank -> inclusive total
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SpanStat> aggregate(const std::vector<Recorder>& ranks) {
+  std::map<std::string, PathAccum> by_path;
+  for (const Recorder& r : ranks) {
+    for (const TraceEvent& e : r.events()) {
+      PathAccum& a = by_path[e.path];
+      a.count += 1;
+      a.flops += e.flops;
+      a.comm_bytes += e.total_comm_bytes();
+      a.messages += e.messages;
+      a.rank_seconds[r.rank()] += e.seconds;
+    }
+  }
+  const int p = static_cast<int>(ranks.size());
+  std::vector<SpanStat> out;
+  out.reserve(by_path.size());
+  for (const auto& [path, a] : by_path) {
+    SpanStat s;
+    s.path = path;
+    s.count = a.count;
+    s.ranks = static_cast<int>(a.rank_seconds.size());
+    s.flops = a.flops;
+    s.comm_bytes = a.comm_bytes;
+    s.messages = a.messages;
+    double sum = 0.0;
+    double mx = 0.0;
+    double mn = std::numeric_limits<double>::max();
+    for (const auto& [rank, sec] : a.rank_seconds) {
+      (void)rank;
+      sum += sec;
+      mx = std::max(mx, sec);
+      mn = std::min(mn, sec);
+    }
+    // Ranks that never entered the span contribute 0 to min and mean.
+    if (s.ranks < p) mn = 0.0;
+    s.min_s = mn;
+    s.max_s = mx;
+    s.mean_s = p > 0 ? sum / p : 0.0;
+    s.imbalance = s.mean_s > 0.0 ? s.max_s / s.mean_s : 0.0;
+    out.push_back(std::move(s));
+  }
+  return out;  // std::map iteration => sorted by path already
+}
+
+CsvTable aggregate_csv(const std::vector<SpanStat>& stats) {
+  CsvTable table({"path", "count", "ranks", "min_s", "mean_s", "max_s",
+                  "imbalance", "flops", "comm_bytes", "messages"});
+  for (const SpanStat& s : stats) {
+    table.begin_row();
+    table.add(s.path);
+    table.add(static_cast<long long>(s.count));
+    table.add(s.ranks);
+    table.add(s.min_s);
+    table.add(s.mean_s);
+    table.add(s.max_s);
+    table.add(s.imbalance);
+    table.add(s.flops);
+    table.add(s.comm_bytes);
+    table.add(static_cast<long long>(s.messages));
+  }
+  return table;
+}
+
+std::string aggregate_pretty(const std::vector<SpanStat>& stats,
+                             std::size_t top_n) {
+  std::vector<SpanStat> sorted = stats;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SpanStat& a, const SpanStat& b) {
+              return a.max_s > b.max_s;
+            });
+  if (top_n > 0 && sorted.size() > top_n) sorted.resize(top_n);
+  return aggregate_csv(sorted).to_pretty();
+}
+
+std::string chrome_trace_json(const std::vector<Recorder>& ranks) {
+  double t0 = std::numeric_limits<double>::max();
+  for (const Recorder& r : ranks) {
+    for (const TraceEvent& e : r.events()) t0 = std::min(t0, e.start);
+  }
+  if (t0 == std::numeric_limits<double>::max()) t0 = 0.0;
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  for (const Recorder& r : ranks) {
+    os << (first ? "" : ",");
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+       << r.rank() << ",\"args\":{\"name\":\"rank " << r.rank() << "\"}}";
+    for (const TraceEvent& e : r.events()) {
+      os << ",{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\"rahooi\""
+         << ",\"ph\":\"X\"";
+      std::snprintf(buf, sizeof buf, "%.3f", (e.start - t0) * 1e6);
+      os << ",\"ts\":" << buf;
+      std::snprintf(buf, sizeof buf, "%.3f", e.seconds * 1e6);
+      os << ",\"dur\":" << buf << ",\"pid\":0,\"tid\":" << r.rank()
+         << ",\"args\":{\"path\":\"" << json_escape(e.path) << "\"";
+      std::snprintf(buf, sizeof buf, "%.0f", e.flops);
+      os << ",\"flops\":" << buf;
+      std::snprintf(buf, sizeof buf, "%.0f", e.total_comm_bytes());
+      os << ",\"comm_bytes\":" << buf << ",\"messages\":" << e.messages;
+      if (e.phase >= 0) {
+        os << ",\"phase\":\"" << phase_name(static_cast<Phase>(e.phase))
+           << "\"";
+      }
+      os << "}}";
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<Recorder>& ranks) {
+  std::ofstream out(path);
+  RAHOOI_REQUIRE(out.good(), "cannot open trace output file: " + path);
+  out << chrome_trace_json(ranks);
+  RAHOOI_REQUIRE(out.good(), "failed writing trace output file: " + path);
+}
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON syntax checker (no DOM): enough to promise
+// "the emitted trace parses" without adding a parser dependency.
+
+namespace {
+
+struct JsonScanner {
+  const char* p;
+  const char* end;
+
+  void skip_ws() {
+    while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  }
+
+  bool value() {
+    skip_ws();
+    if (p >= end) return false;
+    switch (*p) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool literal(const char* lit) {
+    for (; *lit; ++lit, ++p) {
+      if (p >= end || *p != *lit) return false;
+    }
+    return true;
+  }
+
+  bool number() {
+    const char* begin = p;
+    if (p < end && (*p == '-' || *p == '+')) ++p;
+    bool digits = false;
+    while (p < end && (std::isdigit(static_cast<unsigned char>(*p)) ||
+                       *p == '.' || *p == 'e' || *p == 'E' || *p == '-' ||
+                       *p == '+')) {
+      digits = digits || std::isdigit(static_cast<unsigned char>(*p));
+      ++p;
+    }
+    return digits && p > begin;
+  }
+
+  bool string() {
+    if (p >= end || *p != '"') return false;
+    ++p;
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        ++p;
+        if (p >= end) return false;
+      }
+      ++p;
+    }
+    if (p >= end) return false;
+    ++p;  // closing quote
+    return true;
+  }
+
+  bool object() {
+    ++p;  // '{'
+    skip_ws();
+    if (p < end && *p == '}') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (p >= end || *p != ':') return false;
+      ++p;
+      if (!value()) return false;
+      skip_ws();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      break;
+    }
+    if (p >= end || *p != '}') return false;
+    ++p;
+    return true;
+  }
+
+  bool array() {
+    ++p;  // '['
+    skip_ws();
+    if (p < end && *p == ']') {
+      ++p;
+      return true;
+    }
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (p < end && *p == ',') {
+        ++p;
+        continue;
+      }
+      break;
+    }
+    if (p >= end || *p != ']') return false;
+    ++p;
+    return true;
+  }
+};
+
+bool fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+}  // namespace
+
+bool validate_chrome_trace(const std::string& json, int expect_ranks,
+                           const std::vector<std::string>& required_names,
+                           std::string* error) {
+  JsonScanner scan{json.data(), json.data() + json.size()};
+  if (!scan.value()) return fail(error, "trace is not syntactically valid JSON");
+  scan.skip_ws();
+  if (scan.p != scan.end) {
+    return fail(error, "trailing garbage after the top-level JSON value");
+  }
+  if (json.find("\"traceEvents\"") == std::string::npos) {
+    return fail(error, "missing traceEvents array");
+  }
+  for (int r = 0; r < expect_ranks; ++r) {
+    const std::string lane = "\"tid\":" + std::to_string(r);
+    if (json.find(lane) == std::string::npos) {
+      return fail(error, "no lane for rank " + std::to_string(r));
+    }
+  }
+  for (const std::string& name : required_names) {
+    const std::string key = "\"name\":\"" + name + "\"";
+    if (json.find(key) == std::string::npos) {
+      return fail(error, "required span name missing: " + name);
+    }
+  }
+  return true;
+}
+
+}  // namespace rahooi::prof

@@ -1,0 +1,70 @@
+#pragma once
+// Cross-rank aggregation and exporters for the trace profiler.
+//
+// aggregate() folds per-rank Recorders into one row per span *path* with
+// min/mean/max/imbalance statistics across ranks — the TuckerMPI
+// Tucker::Timer reporting style — and the exporters emit
+//   * Chrome trace_event JSON (open in chrome://tracing or ui.perfetto.dev;
+//     one lane per rank), and
+//   * a flat CSV (CsvTable) for scripted post-processing.
+// validate_chrome_trace() is a structural checker used by the `trace_lint`
+// tool and the ctest target that keeps docs/PROFILING.md and the emitted
+// span names from drifting apart.
+
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "prof/trace.hpp"
+
+namespace rahooi::prof {
+
+/// Cross-rank statistics for one span path. Per-rank totals are the sum of
+/// inclusive durations of every event with that path on that rank;
+/// min/mean/max range over *all* ranks in the input (a rank that never
+/// entered the span contributes 0, so load imbalance is visible rather than
+/// hidden). flops/comm_bytes/messages/count are summed over ranks.
+struct SpanStat {
+  std::string path;
+  std::uint64_t count = 0;   ///< invocations, summed over ranks
+  int ranks = 0;             ///< number of ranks the span appeared on
+  double min_s = 0.0;
+  double mean_s = 0.0;
+  double max_s = 0.0;
+  double imbalance = 0.0;    ///< max_s / mean_s (0 when mean_s == 0)
+  double flops = 0.0;
+  double comm_bytes = 0.0;
+  std::uint64_t messages = 0;
+};
+
+/// One row per distinct span path, sorted by path (deterministic output).
+std::vector<SpanStat> aggregate(const std::vector<Recorder>& ranks);
+
+/// Flat CSV: path,count,ranks,min_s,mean_s,max_s,imbalance,flops,comm_bytes,
+/// messages.
+CsvTable aggregate_csv(const std::vector<SpanStat>& stats);
+
+/// Terminal table of the `top_n` paths by max_s (all when top_n == 0).
+std::string aggregate_pretty(const std::vector<SpanStat>& stats,
+                             std::size_t top_n = 0);
+
+/// Chrome trace_event JSON: one complete ("X") event per TraceEvent with
+/// tid = rank (plus thread_name metadata so lanes read "rank N"), ts/dur in
+/// microseconds relative to the earliest event, and args carrying the
+/// span's flops / bytes / messages.
+std::string chrome_trace_json(const std::vector<Recorder>& ranks);
+
+/// Writes chrome_trace_json() to `path`; throws on IO failure.
+void write_chrome_trace(const std::string& path,
+                        const std::vector<Recorder>& ranks);
+
+/// Structural validation of an emitted trace: `json` must parse as JSON,
+/// contain a traceEvents array, have a lane (tid) for every rank in
+/// [0, expect_ranks), and mention every name in `required_names` as an
+/// event name. Returns false and fills `error` (if non-null) on the first
+/// violation.
+bool validate_chrome_trace(const std::string& json, int expect_ranks,
+                           const std::vector<std::string>& required_names,
+                           std::string* error = nullptr);
+
+}  // namespace rahooi::prof
