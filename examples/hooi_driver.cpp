@@ -10,11 +10,16 @@
 // "HOOI-Adapt Threshold" > 0 enables the rank-adaptive (error-specified)
 // driver (paper Alg. 3) with that epsilon; 0 runs fixed-rank HOOI.
 //
-//   ./hooi_driver --parameter-file HOOI.cfg [--profile]
+//   ./hooi_driver --parameter-file HOOI.cfg [--profile] [--restore]
 //
 // --profile records a per-rank hierarchical span trace of the run and
 // writes it as Chrome trace_event JSON ("Trace file" key, default
 // trace.json); see docs/PROFILING.md.
+//
+// --restore resumes a fixed-rank solve from the "Checkpoint file" written
+// by a previous (interrupted) run; "Collective timeout ms" arms the hang
+// watchdog and "Fault plan" installs deterministic fault injection — see
+// docs/ROBUSTNESS.md.
 //
 // Example configuration (artifact appendix B.1):
 //   Print options = true
@@ -30,11 +35,13 @@
 //   Decomposition Ranks = 10 10 10 10
 
 #include <cstdio>
+#include <optional>
 
 #include "common/stopwatch.hpp"
 #include "core/rank_adaptive.hpp"
 #include "driver_common.hpp"
 #include "example_util.hpp"
+#include "fault/fault.hpp"
 #include "prof/report.hpp"
 
 using namespace rahooi;
@@ -42,7 +49,7 @@ using namespace rahooi;
 namespace {
 
 template <typename T>
-int run(const io::ParamFile& params, bool profile) {
+int run(const io::ParamFile& params, bool profile, bool restore) {
   const auto dims = params.get_dims("Global dims");
   auto construction = params.get_dims("Construction Ranks");
   auto decomposition = params.get_dims("Decomposition Ranks");
@@ -61,8 +68,33 @@ int run(const io::ParamFile& params, bool profile) {
   hooi_opts.max_iters = static_cast<int>(params.get_int("HOOI max iters", 2));
   hooi_opts.seed = static_cast<std::uint64_t>(params.get_int("Seed", 1));
   hooi_opts.profile = profile;
+  // Fault-tolerance knobs (docs/ROBUSTNESS.md): hang watchdog deadline and
+  // per-sweep checkpointing. `--restore` resumes from "Checkpoint file".
+  hooi_opts.collective_timeout_ms =
+      params.get_double("Collective timeout ms", 0.0);
+  hooi_opts.checkpoint_path = params.get_string("Checkpoint file", "");
   const double adapt = params.get_double("HOOI-Adapt Threshold", 0.0);
+  if (restore) {
+    RAHOOI_REQUIRE(!hooi_opts.checkpoint_path.empty(),
+                   "--restore needs a 'Checkpoint file' parameter naming the "
+                   "checkpoint to resume from");
+    RAHOOI_REQUIRE(adapt == 0.0,
+                   "--restore supports fixed-rank HOOI only; rank-adaptive "
+                   "checkpointing is not implemented yet");
+    hooi_opts.restore_path = hooi_opts.checkpoint_path;
+  }
   const bool timings = params.get_bool("Print timings", false);
+
+  // Deterministic fault injection ("Fault plan" / "Fault seed"): installed
+  // process-wide for the whole run, used by the robustness ctest cases.
+  std::optional<fault::ScopedPlan> fault_guard;
+  const std::string fault_spec = params.get_string("Fault plan", "");
+  if (!fault_spec.empty()) {
+    fault_guard.emplace(fault::Plan::parse(
+        fault_spec,
+        static_cast<std::uint64_t>(params.get_int("Fault seed", 1))));
+    std::printf("fault plan installed: %s\n", fault_spec.c_str());
+  }
 
   std::printf("variant: %s%s\n", core::variant_name(hooi_opts).c_str(),
               adapt > 0.0 ? " (rank-adaptive)" : " (fixed rank)");
@@ -93,6 +125,10 @@ int run(const io::ParamFile& params, bool profile) {
             std::printf("compressed Tucker tensor written to %s\n",
                         output.c_str());
           }
+          if (world.rank() == 0 && res.report.degraded()) {
+            std::printf("solve degraded (numerical fallbacks taken):\n%s",
+                        res.report.to_string().c_str());
+          }
           if (world.rank() == 0) {
             for (const auto& it : res.iterations) {
               std::printf("iteration %d: error %.4e after ranks %s -> %s\n",
@@ -119,6 +155,15 @@ int run(const io::ParamFile& params, bool profile) {
             }
           }
           if (world.rank() == 0) {
+            if (restore) {
+              std::printf("restored from %s (%d total sweeps incl. the "
+                          "checkpointed ones)\n",
+                          hooi_opts.restore_path.c_str(), res.iterations);
+            }
+            if (res.report.degraded()) {
+              std::printf("solve degraded (numerical fallbacks taken):\n%s",
+                          res.report.to_string().c_str());
+            }
             for (std::size_t i = 0; i < res.error_history.size(); ++i) {
               std::printf("iteration %zu: approximation error %.6e\n", i + 1,
                           res.error_history[i]);
@@ -158,9 +203,12 @@ int main(int argc, char** argv) {
     // "Trace file" (default trace.json).
     const bool profile = examples::has_flag(argc, argv, "--profile") ||
                          params.get_bool("Profile", false);
+    // `--restore` resumes a checkpointed fixed-rank solve from the
+    // "Checkpoint file" path (see docs/ROBUSTNESS.md).
+    const bool restore = examples::has_flag(argc, argv, "--restore");
     return params.get_bool("Single precision", true)
-               ? run<float>(params, profile)
-               : run<double>(params, profile);
+               ? run<float>(params, profile, restore)
+               : run<double>(params, profile, restore);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

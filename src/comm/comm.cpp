@@ -5,6 +5,8 @@
 namespace rahooi::comm {
 
 Comm Comm::split(int color, int key) const {
+  prof::TraceSpan span("split");
+  CollectiveGuard guard(ctx_.get(), rank_, "split");
   RAHOOI_REQUIRE(valid(), "split on an invalid communicator");
   const int p = size();
   if (p == 1) return *this;
@@ -19,7 +21,7 @@ Comm Comm::split(int color, int key) const {
     colors[r] = peer[0];
     keys[r] = peer[1];
   }
-  ctx_->barrier_wait();
+  ctx_->barrier_wait(Context::BarrierPhase::exit);
 
   // My group: ranks with my color, ordered by (key, parent rank).
   std::vector<int> members;
@@ -35,15 +37,17 @@ Comm Comm::split(int color, int key) const {
     if (members[i] == rank_) child_rank = static_cast<int>(i);
   }
 
-  // Leader creates the child context; members collect it.
+  // Leader creates the child context; members collect it. The child shares
+  // the parent world's monitor so an abort anywhere poisons the whole world,
+  // including waits inside sub-communicators.
   if (rank_ == leader) {
     ctx_->deposit_child(leader,
-                        std::make_shared<Context>(
-                            static_cast<int>(members.size())));
+                        Context::create(static_cast<int>(members.size()),
+                                        ctx_->monitor()));
   }
-  ctx_->barrier_wait();
+  ctx_->barrier_wait(Context::BarrierPhase::exit);
   std::shared_ptr<Context> child = ctx_->collect_child(leader);
-  ctx_->barrier_wait();
+  ctx_->barrier_wait(Context::BarrierPhase::exit);
   return Comm(std::move(child), child_rank);
 }
 

@@ -13,6 +13,13 @@
 // allreduce, binomial bcast/reduce). This is what the Table 2 reproduction
 // measures.
 
+// Fault tolerance (docs/ROBUSTNESS.md): every collective opens a
+// CollectiveGuard before its first rendezvous — park-registry bookkeeping
+// for the hang watchdog plus the fault-injection entry hook (transient
+// injected faults retried with bounded backoff) — and every blocking wait
+// underneath observes the world's sticky abort flag, so a dead rank releases
+// its peers via AbortedError instead of deadlocking them.
+
 #include <cstdint>
 #include <memory>
 #include <numeric>
@@ -21,6 +28,7 @@
 #include "comm/context.hpp"
 #include "common/contracts.hpp"
 #include "common/stats.hpp"
+#include "fault/fault.hpp"
 #include "prof/trace.hpp"
 
 namespace rahooi::comm {
@@ -39,13 +47,23 @@ class Comm {
 
   void barrier() const {
     prof::TraceSpan span("barrier");
+    CollectiveGuard guard(ctx_.get(), rank_, "barrier");
     ctx_->barrier_wait();
+  }
+
+  /// Arms (or disarms, 0) the world's collective hang watchdog: any single
+  /// collective wait exceeding the deadline dumps which ranks are parked in
+  /// which collective and aborts the world with TimeoutError. Shared by all
+  /// communicators split from the same world.
+  void set_collective_timeout(double seconds) const {
+    if (ctx_ != nullptr) ctx_->monitor()->set_timeout(seconds);
   }
 
   /// Root's buffer is copied to every rank.
   template <typename T>
   void bcast(T* data, idx_t n, int root) const {
     prof::TraceSpan span("bcast");
+    CollectiveGuard guard(ctx_.get(), rank_, "bcast");
     RAHOOI_REQUIRE(root >= 0 && root < size(), "bcast: bad root");
     if (size() == 1) return;
     ctx_->post(rank_, SlotEntry{data, data, nullptr, 0});
@@ -54,7 +72,8 @@ class Comm {
       const T* src = static_cast<const T*>(ctx_->slot(root).in);
       std::copy(src, src + n, data);
     }
-    ctx_->barrier_wait();
+    ctx_->barrier_wait(Context::BarrierPhase::exit);
+    fault::inject_payload("bcast", guard.world_rank(), data, sizeof(T) * n);
     stats::add_comm(CollectiveKind::bcast, bytes_of<T>(n));
   }
 
@@ -62,6 +81,7 @@ class Comm {
   template <typename T>
   void reduce_sum(const T* in, T* out, idx_t n, int root) const {
     prof::TraceSpan span("reduce");
+    CollectiveGuard guard(ctx_.get(), rank_, "reduce");
     RAHOOI_REQUIRE(root >= 0 && root < size(), "reduce: bad root");
     if (size() == 1) {
       if (out != in) std::copy(in, in + n, out);
@@ -77,7 +97,7 @@ class Comm {
         for (idx_t i = 0; i < n; ++i) out[i] += src[i];
       }
     }
-    ctx_->barrier_wait();
+    ctx_->barrier_wait(Context::BarrierPhase::exit);
     stats::add_comm(CollectiveKind::reduce, bytes_of<T>(n));
   }
 
@@ -92,6 +112,7 @@ class Comm {
   template <typename T>
   void allreduce_sum(T* data, idx_t n) const {
     prof::TraceSpan span("allreduce");
+    CollectiveGuard guard(ctx_.get(), rank_, "allreduce");
     if (size() == 1) return;
     ctx_->post(rank_, SlotEntry{data, nullptr, nullptr, 0});
     ctx_->barrier_wait();
@@ -101,9 +122,11 @@ class Comm {
       const T* src = static_cast<const T*>(ctx_->slot(r).in);
       for (idx_t i = 0; i < n; ++i) acc[i] += src[i];
     }
-    ctx_->barrier_wait();
+    ctx_->barrier_wait(Context::BarrierPhase::exit);
     std::copy(acc.begin(), acc.end(), data);
-    ctx_->barrier_wait();
+    ctx_->barrier_wait(Context::BarrierPhase::exit);
+    fault::inject_payload("allreduce", guard.world_rank(), data,
+                          sizeof(T) * n);
     // Rabenseifner: reduce-scatter + allgather, 2n(P-1)/P per rank.
     stats::add_comm(CollectiveKind::allreduce,
                     2.0 * bytes_of<T>(n) * (size() - 1) / size());
@@ -122,6 +145,7 @@ class Comm {
   void reduce_scatter_sum(const T* in, T* out,
                           const std::vector<idx_t>& counts) const {
     prof::TraceSpan span("reduce_scatter");
+    CollectiveGuard guard(ctx_.get(), rank_, "reduce_scatter");
     RAHOOI_REQUIRE(static_cast<int>(counts.size()) == size(),
                    "reduce_scatter: counts size != communicator size");
     const idx_t total = std::accumulate(counts.begin(), counts.end(),
@@ -140,7 +164,7 @@ class Comm {
       const T* src = static_cast<const T*>(ctx_->slot(r).in) + offset;
       for (idx_t i = 0; i < mine; ++i) out[i] += src[i];
     }
-    ctx_->barrier_wait();
+    ctx_->barrier_wait(Context::BarrierPhase::exit);
     // Recursive halving: n(P-1)/P per rank on the full input length.
     stats::add_comm(CollectiveKind::reduce_scatter,
                     bytes_of<T>(total) * (size() - 1) / size());
@@ -152,6 +176,7 @@ class Comm {
   template <typename T>
   void allgatherv(const T* in, T* out, const std::vector<idx_t>& counts) const {
     prof::TraceSpan span("allgatherv");
+    CollectiveGuard guard(ctx_.get(), rank_, "allgather");
     RAHOOI_REQUIRE(static_cast<int>(counts.size()) == size(),
                    "allgatherv: counts size != communicator size");
     if (size() == 1) {
@@ -168,7 +193,7 @@ class Comm {
       offset += counts[r];
       if (r != rank_) received += counts[r];
     }
-    ctx_->barrier_wait();
+    ctx_->barrier_wait(Context::BarrierPhase::exit);
     // Ring: each rank receives everyone else's contribution.
     stats::add_comm(CollectiveKind::allgather, bytes_of<T>(received));
   }
@@ -187,6 +212,7 @@ class Comm {
                  const std::vector<idx_t>& recvcounts,
                  const std::vector<idx_t>& rdispls) const {
     prof::TraceSpan span("alltoallv");
+    CollectiveGuard guard(ctx_.get(), rank_, "alltoall");
     RAHOOI_REQUIRE(static_cast<int>(sdispls.size()) == size() &&
                        static_cast<int>(recvcounts.size()) == size() &&
                        static_cast<int>(rdispls.size()) == size(),
@@ -201,7 +227,7 @@ class Comm {
       std::copy(src, src + recvcounts[s], out + rdispls[s]);
       if (s != rank_) off_rank_bytes += bytes_of<T>(recvcounts[s]);
     }
-    ctx_->barrier_wait();
+    ctx_->barrier_wait(Context::BarrierPhase::exit);
     stats::add_comm(CollectiveKind::alltoall,
                     static_cast<double>(off_rank_bytes));
   }
@@ -210,6 +236,7 @@ class Comm {
   template <typename T>
   void send(const T* data, idx_t n, int dest, int tag) const {
     prof::TraceSpan span("send");
+    CollectiveGuard guard(ctx_.get(), rank_, "send");
     ctx_->send_bytes(dest, rank_, tag, data, sizeof(T) * n);
     stats::add_comm(CollectiveKind::point_to_point, bytes_of<T>(n));
   }
@@ -217,6 +244,7 @@ class Comm {
   template <typename T>
   void recv(T* data, idx_t n, int source, int tag) const {
     prof::TraceSpan span("recv");
+    CollectiveGuard guard(ctx_.get(), rank_, "recv");
     ctx_->recv_bytes(rank_, source, tag, data, sizeof(T) * n);
   }
 

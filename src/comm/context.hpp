@@ -8,6 +8,11 @@
 // rank reads what it needs, and a second barrier retires the slots. The
 // mutex/condition-variable barrier establishes the happens-before edges that
 // make the cross-thread buffer reads race-free.
+//
+// Every context shares its world's Monitor (comm/monitor.hpp): all blocking
+// waits observe the sticky abort flag (throwing AbortedError instead of
+// hanging once a rank has died) and honor the optional watchdog deadline
+// (throwing TimeoutError with a park report when a wait exceeds it).
 
 #include <condition_variable>
 #include <cstddef>
@@ -16,6 +21,8 @@
 #include <memory>
 #include <mutex>
 #include <vector>
+
+#include "comm/monitor.hpp"
 
 namespace rahooi::comm {
 
@@ -36,12 +43,38 @@ struct Message {
 
 class Context {
  public:
-  explicit Context(int size);
+  /// Prefer create(): it registers the context with its monitor so abort
+  /// can wake waits. Direct construction is kept for trivial single-rank
+  /// contexts that never block.
+  explicit Context(int size, std::shared_ptr<Monitor> monitor = nullptr);
+
+  /// Makes a context attached to `monitor` (a fresh Monitor when null) so
+  /// raise_abort() wakes its waits. Used by Runtime (world) and split
+  /// (children share the parent world's monitor).
+  static std::shared_ptr<Context> create(
+      int size, std::shared_ptr<Monitor> monitor = nullptr);
 
   int size() const { return size_; }
 
+  const std::shared_ptr<Monitor>& monitor() const { return monitor_; }
+
+  /// Which rendezvous a barrier_wait is: the entry barrier right after
+  /// posting (peers may never arrive — a dead rank must release us via
+  /// AbortedError), or a later phase/exit barrier of the same collective.
+  /// Every participant of a phase barrier already passed the entry barrier
+  /// and is in non-blocking compute, so it is guaranteed to arrive; a phase
+  /// barrier therefore ignores the abort flag and waits for completion.
+  /// That guarantee is what keeps posted buffers alive while peers read
+  /// them: bailing out of an exit barrier on abort would unwind the poster's
+  /// stack under a peer still copying from its slot (use-after-free).
+  enum class BarrierPhase { entry, exit };
+
   /// Blocks until all `size()` ranks arrive (sense via generation counter).
-  void barrier_wait();
+  /// For entry barriers, throws AbortedError once the world's abort flag is
+  /// up (on entry or while blocked); phase barriers complete regardless so
+  /// the caller's buffers outlive all peer reads. Either kind throws
+  /// TimeoutError when the armed watchdog expires.
+  void barrier_wait(BarrierPhase phase = BarrierPhase::entry);
 
   /// Publish this rank's pointers for the in-flight collective. Only valid
   /// between barriers; the slot array is reused across collectives.
@@ -49,7 +82,8 @@ class Context {
 
   const SlotEntry& slot(int rank) const { return slots_[rank]; }
 
-  /// Blocking tagged send/recv through per-rank mailboxes.
+  /// Blocking tagged send/recv through per-rank mailboxes. recv is
+  /// abort-aware and watchdog-bounded like barrier_wait.
   void send_bytes(int dest, int source, int tag, const void* data,
                   std::size_t bytes);
   void recv_bytes(int self, int source, int tag, void* data,
@@ -60,6 +94,10 @@ class Context {
   void deposit_child(int leader_rank, std::shared_ptr<Context> child);
   std::shared_ptr<Context> collect_child(int leader_rank) const;
 
+  /// Wakes every wait on this context (abort propagation; called by the
+  /// monitor after raising the abort flag).
+  void wake_all();
+
  private:
   struct Mailbox {
     std::mutex mutex;
@@ -67,7 +105,12 @@ class Context {
     std::deque<Message> queue;
   };
 
+  /// Builds the watchdog diagnostic, raises the world abort, and throws
+  /// TimeoutError. Called from a wait that exceeded the deadline.
+  [[noreturn]] void watchdog_expired(const char* where);
+
   int size_;
+  std::shared_ptr<Monitor> monitor_;
 
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;

@@ -1,0 +1,48 @@
+#pragma once
+// Exception types of the fault-tolerant runtime (see docs/ROBUSTNESS.md).
+//
+// Header-only and dependency-free on purpose: the fault-injection layer
+// (src/fault) throws CommError without depending on the rest of comm, and
+// comm's collectives throw AbortedError/TimeoutError without depending on
+// fault.
+
+#include <stdexcept>
+#include <string>
+
+namespace rahooi::comm {
+
+/// Thrown by every blocked or subsequently-issued collective of a world
+/// whose sticky abort flag has been raised (a rank thread exited via
+/// exception, or a watchdog fired). Carries the world rank where the
+/// failure originated so survivors can report the root cause.
+class AbortedError : public std::runtime_error {
+ public:
+  AbortedError(int origin_rank, const std::string& what)
+      : std::runtime_error(what), origin_rank_(origin_rank) {}
+
+  /// World rank whose failure aborted the world (-1 when unknown).
+  int origin_rank() const { return origin_rank_; }
+
+ private:
+  int origin_rank_;
+};
+
+/// Raised by the collective hang watchdog: a rank was parked in a collective
+/// past the configured deadline (mismatched collective schedules, a peer
+/// that exited without aborting, ...). what() carries the park report —
+/// which ranks are blocked in which collective at which prof span path.
+class TimeoutError : public AbortedError {
+ public:
+  using AbortedError::AbortedError;
+};
+
+/// A transient communication failure (only ever produced by fault injection
+/// in this thread-based runtime; a real network transport would map link
+/// errors here). Retriable: collectives retry with bounded exponential
+/// backoff before letting it propagate.
+class CommError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace rahooi::comm

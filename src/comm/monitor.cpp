@@ -1,0 +1,145 @@
+#include "comm/monitor.hpp"
+
+#include <sstream>
+
+#include "comm/context.hpp"
+#include "common/contracts.hpp"
+#include "common/stats.hpp"
+#include "fault/fault.hpp"
+#include "prof/trace.hpp"
+
+namespace rahooi::comm {
+
+namespace {
+
+thread_local Monitor* tls_monitor = nullptr;
+thread_local int tls_world_rank = -1;
+
+}  // namespace
+
+Monitor::Monitor(int world_size)
+    : world_size_(world_size), slots_(world_size) {
+  RAHOOI_REQUIRE(world_size >= 1, "monitor needs at least one rank");
+}
+
+bool Monitor::raise_abort(int origin_rank, const std::string& what) {
+  {
+    std::lock_guard lock(mutex_);
+    if (aborted_.load(std::memory_order_relaxed)) return false;
+    origin_rank_ = origin_rank;
+    what_ = what;
+    aborted_.store(true, std::memory_order_release);
+  }
+  wake_all();
+  return true;
+}
+
+int Monitor::abort_origin() const {
+  std::lock_guard lock(mutex_);
+  return origin_rank_;
+}
+
+std::string Monitor::abort_what() const {
+  std::lock_guard lock(mutex_);
+  return what_;
+}
+
+void Monitor::throw_aborted() const {
+  std::lock_guard lock(mutex_);
+  throw AbortedError(origin_rank_,
+                     "world aborted (origin rank " +
+                         std::to_string(origin_rank_) + "): " + what_);
+}
+
+void Monitor::park(int world_rank, const char* op, std::string path) {
+  if (world_rank < 0 || world_rank >= world_size_) return;
+  ParkSlot& slot = slots_[world_rank];
+  std::lock_guard lock(slot.m);
+  slot.op = op;
+  slot.since = stats::now();
+  slot.path = std::move(path);
+  ++slot.entered;
+}
+
+void Monitor::unpark(int world_rank) {
+  if (world_rank < 0 || world_rank >= world_size_) return;
+  ParkSlot& slot = slots_[world_rank];
+  std::lock_guard lock(slot.m);
+  slot.op = nullptr;
+  slot.path.clear();
+}
+
+std::string Monitor::park_report() const {
+  const double now = stats::now();
+  std::ostringstream os;
+  for (int r = 0; r < world_size_; ++r) {
+    const ParkSlot& slot = slots_[r];
+    std::lock_guard lock(slot.m);
+    os << "  rank " << r << ": ";
+    if (slot.op != nullptr) {
+      os << "parked in " << slot.op << " for " << (now - slot.since) << "s";
+      if (!slot.path.empty()) os << " at span " << slot.path;
+    } else {
+      os << "not in a collective (" << slot.entered
+         << " collectives entered)";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void Monitor::attach(std::weak_ptr<Context> ctx) {
+  std::lock_guard lock(mutex_);
+  contexts_.push_back(std::move(ctx));
+}
+
+void Monitor::wake_all() {
+  std::vector<std::weak_ptr<Context>> contexts;
+  {
+    std::lock_guard lock(mutex_);
+    contexts = contexts_;
+  }
+  for (const auto& weak : contexts) {
+    if (const std::shared_ptr<Context> ctx = weak.lock()) ctx->wake_all();
+  }
+}
+
+ScopedRankBinding::ScopedRankBinding(Monitor& monitor, int world_rank) {
+  tls_monitor = &monitor;
+  tls_world_rank = world_rank;
+}
+
+ScopedRankBinding::~ScopedRankBinding() {
+  tls_monitor = nullptr;
+  tls_world_rank = -1;
+}
+
+Monitor* bound_monitor() { return tls_monitor; }
+
+int bound_world_rank() { return tls_world_rank; }
+
+CollectiveGuard::CollectiveGuard(const Context* ctx, int comm_rank,
+                                 const char* op) {
+  world_rank_ = tls_world_rank >= 0 ? tls_world_rank : comm_rank;
+  mon_ = tls_monitor != nullptr
+             ? tls_monitor
+             : (ctx != nullptr ? ctx->monitor().get() : nullptr);
+  if (mon_ != nullptr) {
+    // Copy the prof span path only when the watchdog is armed: that is the
+    // only consumer, and the copy allocates.
+    std::string path;
+    if (mon_->timeout() > 0.0) {
+      if (const prof::Recorder* rec = prof::recorder()) {
+        path = std::string(rec->current_path());
+      }
+    }
+    mon_->park(world_rank_, op, std::move(path));
+  }
+  fault::with_retry([&] { fault::inject_point(op, world_rank_); });
+}
+
+CollectiveGuard::~CollectiveGuard() {
+  if (mon_ != nullptr) mon_->unpark(world_rank_);
+}
+
+}  // namespace rahooi::comm

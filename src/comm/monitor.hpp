@@ -1,0 +1,152 @@
+#pragma once
+// World health monitor: the shared state behind the fault-tolerant runtime.
+//
+// One Monitor is shared by a world communicator and every sub-communicator
+// split from it. It owns three concerns (DESIGN.md §9, docs/ROBUSTNESS.md):
+//
+//  * the *sticky abort flag*: once any rank raises it, every blocked and
+//    every future collective wait on any attached context wakes and throws
+//    AbortedError. The flag is per-world (not per-collective) because after
+//    one rank dies no collective over that world can ever complete — the
+//    world is dead as a unit, and polling per collective would leave ranks
+//    parked in earlier rendezvous hanging.
+//  * the *park registry*: each rank thread records which collective it is
+//    currently blocked in (and the prof span path at entry, when a
+//    Recorder is installed), so a watchdog firing can report exactly where
+//    every rank is stuck.
+//  * the *watchdog deadline*: an opt-in bound on collective waits
+//    (RAHOOI_COLLECTIVE_TIMEOUT_MS or Runtime/HooiOptions knobs). A wait
+//    exceeding it dumps the park registry, aborts the world, and throws
+//    TimeoutError — turning silent mismatched-collective deadlocks into
+//    actionable diagnostics.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "comm/errors.hpp"
+
+namespace rahooi::comm {
+
+class Context;
+
+/// One rank's outcome in an aborted run (Runtime failure report).
+struct RankFailure {
+  int rank = -1;
+  bool root_cause = false;  ///< this rank's error is the one rethrown
+  std::string what;
+};
+
+class Monitor {
+ public:
+  explicit Monitor(int world_size);
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  int world_size() const { return world_size_; }
+
+  // -- sticky abort flag ---------------------------------------------------
+
+  /// Raises the abort flag and wakes every wait on every attached context.
+  /// First raiser wins (its rank/what become the recorded origin); returns
+  /// whether this call was the first.
+  bool raise_abort(int origin_rank, const std::string& what);
+
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+  int abort_origin() const;
+  std::string abort_what() const;
+
+  /// Throws AbortedError carrying the recorded origin. Pre: aborted().
+  [[noreturn]] void throw_aborted() const;
+
+  // -- watchdog ------------------------------------------------------------
+
+  /// Deadline in seconds for any single collective wait; <= 0 disables.
+  void set_timeout(double seconds) {
+    timeout_s_.store(seconds, std::memory_order_relaxed);
+  }
+  double timeout() const { return timeout_s_.load(std::memory_order_relaxed); }
+
+  // -- park registry -------------------------------------------------------
+
+  /// Marks `world_rank` as blocked in collective `op` (entered now). `path`
+  /// is the caller's prof span path at entry ("" when no Recorder).
+  void park(int world_rank, const char* op, std::string path);
+  void unpark(int world_rank);
+
+  /// Human-readable snapshot of where every rank currently is — the
+  /// diagnostic a firing watchdog attaches to its TimeoutError.
+  std::string park_report() const;
+
+  // -- context wakeup registration ----------------------------------------
+
+  /// Registers a context whose waits must be woken on abort (the world
+  /// context and every child split from it).
+  void attach(std::weak_ptr<Context> ctx);
+
+ private:
+  struct ParkSlot {
+    mutable std::mutex m;
+    const char* op = nullptr;  ///< nullptr: not blocked in a collective
+    double since = 0.0;
+    std::string path;
+    std::uint64_t entered = 0;  ///< collectives entered so far
+  };
+
+  void wake_all();
+
+  int world_size_;
+  std::atomic<bool> aborted_{false};
+  std::atomic<double> timeout_s_{0.0};
+  mutable std::mutex mutex_;  ///< guards origin_rank_/what_/contexts_
+  int origin_rank_ = -1;
+  std::string what_;
+  std::vector<std::weak_ptr<Context>> contexts_;
+  std::vector<ParkSlot> slots_;  ///< fixed size world_size_, never resized
+};
+
+/// Binds the calling thread to its (monitor, world rank) for the lifetime of
+/// the scope — installed by Runtime::run on each rank thread, read by
+/// CollectiveGuard for park-registry bookkeeping and fault-site matching.
+class ScopedRankBinding {
+ public:
+  ScopedRankBinding(Monitor& monitor, int world_rank);
+  ~ScopedRankBinding();
+
+  ScopedRankBinding(const ScopedRankBinding&) = delete;
+  ScopedRankBinding& operator=(const ScopedRankBinding&) = delete;
+};
+
+/// The calling thread's bound monitor / world rank (nullptr / -1 when the
+/// thread is not a Runtime rank thread).
+Monitor* bound_monitor();
+int bound_world_rank();
+
+/// RAII entry guard every Comm collective opens before its first rendezvous:
+/// registers the rank in the park registry (with the prof span path when a
+/// Recorder is installed and the watchdog is armed) and runs the
+/// fault-injection entry hook — transient injected CommErrors are retried
+/// here with bounded exponential backoff; exhaustion lets the CommError
+/// propagate and kill the rank.
+class CollectiveGuard {
+ public:
+  CollectiveGuard(const Context* ctx, int comm_rank, const char* op);
+  ~CollectiveGuard();
+
+  CollectiveGuard(const CollectiveGuard&) = delete;
+  CollectiveGuard& operator=(const CollectiveGuard&) = delete;
+
+  /// World rank used for fault matching (falls back to the communicator
+  /// rank when the thread is not bound to a Runtime world).
+  int world_rank() const { return world_rank_; }
+
+ private:
+  Monitor* mon_ = nullptr;
+  int world_rank_ = -1;
+};
+
+}  // namespace rahooi::comm

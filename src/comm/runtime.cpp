@@ -1,5 +1,7 @@
 #include "comm/runtime.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <optional>
 #include <thread>
@@ -9,11 +11,57 @@
 
 namespace rahooi::comm {
 
+namespace {
+
+/// Resolves the watchdog deadline: explicit option wins; a negative option
+/// defers to the RAHOOI_COLLECTIVE_TIMEOUT_MS environment variable.
+double resolve_timeout_s(const RunOptions& options) {
+  if (options.collective_timeout_s >= 0.0) {
+    return options.collective_timeout_s;
+  }
+  const char* env = std::getenv("RAHOOI_COLLECTIVE_TIMEOUT_MS");
+  if (env == nullptr || *env == '\0') return 0.0;
+  char* end = nullptr;
+  const double ms = std::strtod(env, &end);
+  if (end == env || ms <= 0.0) return 0.0;
+  return ms / 1000.0;
+}
+
+struct ClassifiedError {
+  std::exception_ptr ptr;
+  bool is_aborted = false;  ///< secondary: woken by someone else's failure
+  bool is_timeout = false;
+  std::string what = "unknown exception";
+};
+
+ClassifiedError classify(std::exception_ptr err) {
+  ClassifiedError c;
+  c.ptr = err;
+  try {
+    std::rethrow_exception(err);
+  } catch (const TimeoutError& e) {
+    c.is_timeout = true;
+    c.what = e.what();
+  } catch (const AbortedError& e) {
+    c.is_aborted = true;
+    c.what = e.what();
+  } catch (const std::exception& e) {
+    c.what = e.what();
+  } catch (...) {
+  }
+  return c;
+}
+
+}  // namespace
+
 void Runtime::run(int p, const std::function<void(Comm&)>& fn,
                   std::vector<Stats>* rank_stats,
-                  std::vector<prof::Recorder>* rank_traces) {
+                  std::vector<prof::Recorder>* rank_traces,
+                  const RunOptions& options) {
   RAHOOI_REQUIRE(p >= 1, "need at least one rank");
-  auto ctx = std::make_shared<Context>(p);
+  auto monitor = std::make_shared<Monitor>(p);
+  monitor->set_timeout(resolve_timeout_s(options));
+  auto ctx = Context::create(p, monitor);
 
   std::vector<Stats> stats_store(p);
   std::vector<prof::Recorder> trace_store(rank_traces != nullptr ? p : 0);
@@ -24,6 +72,7 @@ void Runtime::run(int p, const std::function<void(Comm&)>& fn,
   for (int r = 0; r < p; ++r) {
     threads.emplace_back([&, r] {
       ScopedStats tracked(stats_store[r]);
+      ScopedRankBinding bound(*monitor, r);
       std::optional<prof::ScopedRecorder> traced;
       if (rank_traces != nullptr) {
         trace_store[r].set_rank(r);
@@ -32,18 +81,74 @@ void Runtime::run(int p, const std::function<void(Comm&)>& fn,
       Comm world(ctx, r);
       try {
         fn(world);
+      } catch (const std::exception& e) {
+        errors[r] = std::current_exception();
+        // Wake every peer parked in a collective: with this rank dead, no
+        // rendezvous over the world can ever complete.
+        monitor->raise_abort(r, e.what());
       } catch (...) {
         errors[r] = std::current_exception();
+        monitor->raise_abort(r, "unknown exception");
       }
     });
   }
+  // Joining is safe even when a rank died mid-collective: raise_abort has
+  // already released every blocked peer via AbortedError.
   for (auto& t : threads) t.join();
 
   if (rank_stats != nullptr) *rank_stats = std::move(stats_store);
   if (rank_traces != nullptr) *rank_traces = std::move(trace_store);
-  for (const auto& err : errors) {
-    if (err) std::rethrow_exception(err);
+
+  // Classify failures and pick the root cause: prefer a genuine error over
+  // a watchdog TimeoutError over secondary AbortedErrors (which only say
+  // "someone else failed first").
+  std::vector<int> failed;
+  std::vector<ClassifiedError> classified(p);
+  for (int r = 0; r < p; ++r) {
+    if (!errors[r]) continue;
+    classified[r] = classify(errors[r]);
+    failed.push_back(r);
   }
+  if (failed.empty()) return;
+
+  int root = -1;
+  for (const int r : failed) {
+    if (!classified[r].is_aborted && !classified[r].is_timeout) {
+      root = r;
+      break;
+    }
+  }
+  if (root < 0) {
+    for (const int r : failed) {
+      if (classified[r].is_timeout) {
+        root = r;
+        break;
+      }
+    }
+  }
+  if (root < 0) root = failed.front();
+
+  if (options.failures != nullptr) {
+    options.failures->clear();
+    for (const int r : failed) {
+      RankFailure f;
+      f.rank = r;
+      f.root_cause = (r == root);
+      f.what = classified[r].what;
+      options.failures->push_back(std::move(f));
+    }
+  }
+
+  if (failed.size() > 1) {
+    std::fprintf(stderr, "rahooi: run aborted, %zu of %d ranks failed:\n",
+                 failed.size(), p);
+    for (const int r : failed) {
+      std::fprintf(stderr, "  rank %d%s: %s\n", r,
+                   r == root ? " (root cause)" : "",
+                   classified[r].what.c_str());
+    }
+  }
+  std::rethrow_exception(classified[root].ptr);
 }
 
 }  // namespace rahooi::comm

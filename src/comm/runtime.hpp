@@ -2,6 +2,11 @@
 // Entry point of the thread-based message-passing runtime: spawns P rank
 // threads, each receiving a world communicator, and joins them — the
 // equivalent of mpirun for this library's simulated distributed runs.
+//
+// Fault tolerance: a rank thread exiting via exception raises the world's
+// sticky abort flag (comm/monitor.hpp), which wakes every peer blocked in a
+// collective with AbortedError. run() therefore always terminates — joins
+// all threads, classifies the failures, and rethrows the root cause.
 
 #include <functional>
 
@@ -9,19 +14,34 @@
 
 namespace rahooi::comm {
 
+/// Knobs for a fault-tolerant Runtime::run.
+struct RunOptions {
+  /// Collective hang watchdog deadline in seconds. < 0 (default): read
+  /// RAHOOI_COLLECTIVE_TIMEOUT_MS from the environment (unset/empty/0
+  /// disables). 0 disables explicitly; > 0 arms the watchdog.
+  double collective_timeout_s = -1.0;
+
+  /// When non-null, receives one entry per failed rank after an aborted run
+  /// (the entry whose error run() rethrows has root_cause = true).
+  std::vector<RankFailure>* failures = nullptr;
+};
+
 class Runtime {
  public:
   /// Runs `fn(world)` on `p` rank-threads and joins them all. If any rank
-  /// throws, the first exception (by rank order) is rethrown after every
-  /// thread has been joined. Each rank thread gets its own Stats object
-  /// installed; `rank_stats` (if non-null) receives the per-rank records.
-  /// When `rank_traces` is non-null, each rank thread additionally gets a
-  /// prof::Recorder installed (rank-labelled) and the vector receives the
-  /// per-rank traces — the full-run profiling entry point used by
-  /// `hooi_driver --profile`.
+  /// throws, the world is aborted (peers blocked in collectives wake with
+  /// AbortedError), every thread is joined, and the *root cause* is
+  /// rethrown: the first genuine failure, not a secondary AbortedError. A
+  /// per-rank failure report goes to stderr when more than one rank failed.
+  /// Each rank thread gets its own Stats object installed; `rank_stats`
+  /// (if non-null) receives the per-rank records. When `rank_traces` is
+  /// non-null, each rank thread additionally gets a prof::Recorder
+  /// installed (rank-labelled) and the vector receives the per-rank traces
+  /// — the full-run profiling entry point used by `hooi_driver --profile`.
   static void run(int p, const std::function<void(Comm&)>& fn,
                   std::vector<Stats>* rank_stats = nullptr,
-                  std::vector<prof::Recorder>* rank_traces = nullptr);
+                  std::vector<prof::Recorder>* rank_traces = nullptr,
+                  const RunOptions& options = {});
 };
 
 }  // namespace rahooi::comm

@@ -1,0 +1,202 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace rahooi::core {
+
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x31434852;  // "RHC1"
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+template <typename T>
+constexpr std::uint32_t element_kind() {
+  return sizeof(T) == 4 ? 1u : 2u;  // 1 = float32, 2 = float64
+}
+
+std::uint64_t fnv1a64(const std::vector<char>& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Payload serializer: appends plain-old-data values to a byte buffer.
+class Writer {
+ public:
+  template <typename V>
+  void put(V v) {
+    const char* p = reinterpret_cast<const char*>(&v);
+    buf_.insert(buf_.end(), p, p + sizeof(V));
+  }
+  template <typename V>
+  void put_block(const V* data, std::int64_t count) {
+    const char* p = reinterpret_cast<const char*>(data);
+    buf_.insert(buf_.end(), p, p + count * sizeof(V));
+  }
+  const std::vector<char>& bytes() const { return buf_; }
+
+ private:
+  std::vector<char> buf_;
+};
+
+/// Payload deserializer with bounds checking (truncation -> throw).
+class Reader {
+ public:
+  explicit Reader(std::vector<char> bytes) : buf_(std::move(bytes)) {}
+
+  template <typename V>
+  V get() {
+    V v{};
+    take(reinterpret_cast<char*>(&v), sizeof(V));
+    return v;
+  }
+  template <typename V>
+  void get_block(V* data, std::int64_t count) {
+    take(reinterpret_cast<char*>(data), count * sizeof(V));
+  }
+  bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  void take(char* out, std::size_t n) {
+    if (pos_ + n > buf_.size()) {
+      throw checkpoint_error("checkpoint payload truncated");
+    }
+    std::memcpy(out, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::vector<char> buf_;
+  std::size_t pos_ = 0;
+};
+
+template <typename T>
+std::vector<char> serialize(const SweepCheckpoint<T>& ck) {
+  Writer w;
+  w.put(element_kind<T>());
+  w.put(static_cast<std::uint32_t>(ck.ranks.size()));
+  w.put(ck.seed);
+  w.put(ck.sweeps_done);
+  for (std::size_t j = 0; j < ck.ranks.size(); ++j) {
+    w.put(static_cast<std::int64_t>(ck.factors[j].rows()));
+    w.put(static_cast<std::int64_t>(ck.ranks[j]));
+  }
+  w.put(static_cast<std::int64_t>(ck.error_history.size()));
+  w.put_block(ck.error_history.data(),
+              static_cast<std::int64_t>(ck.error_history.size()));
+  for (const auto& u : ck.factors) w.put_block(u.data(), u.size());
+  return w.bytes();
+}
+
+template <typename T>
+SweepCheckpoint<T> deserialize(Reader& r) {
+  if (r.get<std::uint32_t>() != element_kind<T>()) {
+    throw checkpoint_error("checkpoint element type mismatch");
+  }
+  const std::uint32_t d = r.get<std::uint32_t>();
+  if (d < 1 || d > 16) throw checkpoint_error("corrupt checkpoint header");
+  SweepCheckpoint<T> ck;
+  ck.seed = r.get<std::uint64_t>();
+  ck.sweeps_done = r.get<std::int64_t>();
+  if (ck.sweeps_done < 0) throw checkpoint_error("corrupt checkpoint header");
+  std::vector<la::idx_t> dims(d);
+  ck.ranks.resize(d);
+  for (std::uint32_t j = 0; j < d; ++j) {
+    dims[j] = r.get<std::int64_t>();
+    ck.ranks[j] = r.get<std::int64_t>();
+    if (dims[j] < 1 || ck.ranks[j] < 1 || ck.ranks[j] > dims[j]) {
+      throw checkpoint_error("corrupt checkpoint dimensions");
+    }
+  }
+  const std::int64_t hist = r.get<std::int64_t>();
+  if (hist < 0 || hist > (1 << 20)) {
+    throw checkpoint_error("corrupt checkpoint history");
+  }
+  ck.error_history.resize(static_cast<std::size_t>(hist));
+  r.get_block(ck.error_history.data(), hist);
+  for (std::uint32_t j = 0; j < d; ++j) {
+    la::Matrix<T> u(dims[j], ck.ranks[j]);
+    r.get_block(u.data(), u.size());
+    ck.factors.push_back(std::move(u));
+  }
+  return ck;
+}
+
+}  // namespace
+
+template <typename T>
+void save_checkpoint(const std::string& path, const SweepCheckpoint<T>& ck) {
+  if (ck.factors.size() != ck.ranks.size()) {
+    throw checkpoint_error("checkpoint: one factor per mode required");
+  }
+  const std::vector<char> payload = serialize(ck);
+  const std::uint64_t checksum = fnv1a64(payload);
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      throw checkpoint_error("cannot open checkpoint for writing: " + tmp);
+    }
+    out.write(reinterpret_cast<const char*>(&kCheckpointMagic),
+              sizeof kCheckpointMagic);
+    out.write(reinterpret_cast<const char*>(&kCheckpointVersion),
+              sizeof kCheckpointVersion);
+    out.write(reinterpret_cast<const char*>(&checksum), sizeof checksum);
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size()));
+    if (!out.good()) {
+      throw checkpoint_error("failed writing checkpoint: " + tmp);
+    }
+  }
+  // Atomic publish: readers either see the previous checkpoint or this one,
+  // never a partial write.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw checkpoint_error("cannot rename checkpoint into place: " + path);
+  }
+}
+
+template <typename T>
+SweepCheckpoint<T> load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw checkpoint_error("cannot open checkpoint: " + path);
+  }
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t checksum = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in.read(reinterpret_cast<char*>(&version), sizeof version);
+  in.read(reinterpret_cast<char*>(&checksum), sizeof checksum);
+  if (!in.good() || magic != kCheckpointMagic) {
+    throw checkpoint_error("not a rahooi checkpoint: " + path);
+  }
+  if (version != kCheckpointVersion) {
+    throw checkpoint_error("unsupported checkpoint version " +
+                           std::to_string(version) + ": " + path);
+  }
+  std::vector<char> payload(std::istreambuf_iterator<char>(in),
+                            std::istreambuf_iterator<char>{});
+  if (fnv1a64(payload) != checksum) {
+    throw checkpoint_error("checkpoint checksum mismatch (corrupt file): " +
+                           path);
+  }
+  Reader r(std::move(payload));
+  SweepCheckpoint<T> ck = deserialize<T>(r);
+  if (!r.exhausted()) {
+    throw checkpoint_error("checkpoint has trailing bytes: " + path);
+  }
+  return ck;
+}
+
+template void save_checkpoint<float>(const std::string&,
+                                     const SweepCheckpoint<float>&);
+template void save_checkpoint<double>(const std::string&,
+                                      const SweepCheckpoint<double>&);
+template SweepCheckpoint<float> load_checkpoint<float>(const std::string&);
+template SweepCheckpoint<double> load_checkpoint<double>(const std::string&);
+
+}  // namespace rahooi::core

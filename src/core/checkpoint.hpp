@@ -1,0 +1,59 @@
+#pragma once
+// Checkpoint/restart for HOOI sweeps (docs/ROBUSTNESS.md).
+//
+// A checkpoint captures everything a sweep loop needs to resume: the
+// replicated factor matrices, the target ranks, the number of completed
+// sweeps, the RNG seed, and the error history. Because the library's RNG is
+// counter-based (the "state" *is* the seed) and allreduce sums in canonical
+// rank order, a restored run replays the remaining sweeps bitwise
+// identically to the uninterrupted solve.
+//
+// On-disk format (native endianness, like io/tensor_io):
+//   u32 magic "RHC1" | u32 version (1) | u64 checksum | payload
+// where checksum is FNV-1a 64 over the payload bytes and the payload is
+//   u32 element kind (1 = float32, 2 = float64)
+//   u32 ndims | u64 seed | i64 sweeps_done
+//   per mode: i64 n_j, i64 r_j
+//   i64 history length, f64 history entries
+//   per mode: factor data, column-major, n_j * r_j elements
+// Writes are atomic: the file is written to "<path>.tmp" and renamed, so a
+// crash mid-write can never leave a half-written checkpoint at `path`.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace rahooi::core {
+
+/// A checkpoint file is missing, truncated, corrupt (checksum mismatch), or
+/// of the wrong version/element type.
+class checkpoint_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Sweep-loop state saved after each completed sweep.
+template <typename T>
+struct SweepCheckpoint {
+  std::int64_t sweeps_done = 0;  ///< completed sweeps (resume at this index)
+  std::uint64_t seed = 0;        ///< HooiOptions::seed of the producing run
+  std::vector<la::idx_t> ranks;
+  std::vector<la::Matrix<T>> factors;   ///< replicated, one per mode
+  std::vector<double> error_history;    ///< relative error per sweep so far
+};
+
+/// Writes `ck` atomically (tmp + rename). Throws checkpoint_error on I/O
+/// failure.
+template <typename T>
+void save_checkpoint(const std::string& path, const SweepCheckpoint<T>& ck);
+
+/// Reads and verifies a checkpoint. Throws checkpoint_error when the file
+/// is missing, truncated, fails its checksum, or holds the wrong element
+/// type.
+template <typename T>
+SweepCheckpoint<T> load_checkpoint(const std::string& path);
+
+}  // namespace rahooi::core

@@ -3,8 +3,11 @@
 #include <cmath>
 #include <optional>
 
+#include "comm/monitor.hpp"
 #include "common/rng.hpp"
+#include "core/checkpoint.hpp"
 #include "core/dimension_tree.hpp"
+#include "fault/fault.hpp"
 #include "prof/trace.hpp"
 
 namespace rahooi::core {
@@ -33,22 +36,21 @@ std::vector<la::Matrix<T>> random_factors(const std::vector<idx_t>& dims,
 
 namespace {
 
-// Updates factors[mode] from `y`, the all-but-one multi-TTM result.
+// Runs the configured LLSV method for one mode and returns the new factor.
 // `sweep_index` seeds the fresh sketches of the randomized method so they
 // differ between sweeps but are identical on every rank.
 template <typename T>
-void leaf_update(const dist::DistTensor<T>& y, int mode,
-                 std::vector<la::Matrix<T>>& factors,
-                 const std::vector<idx_t>& ranks, const HooiOptions& options,
-                 int sweep_index) {
+la::Matrix<T> leaf_update_primary(const dist::DistTensor<T>& y, int mode,
+                                  const la::Matrix<T>& prev,
+                                  const std::vector<idx_t>& ranks,
+                                  const HooiOptions& options,
+                                  int sweep_index) {
   switch (options.svd_method) {
     case SvdMethod::subspace_iteration:
-      RAHOOI_REQUIRE(factors[mode].cols() == ranks[mode],
+      RAHOOI_REQUIRE(prev.cols() == ranks[mode],
                      "subspace iteration needs a starting factor of the "
                      "requested rank");
-      factors[mode] = llsv_subspace_iteration(y, mode, factors[mode],
-                                               options.subspace_steps);
-      break;
+      return llsv_subspace_iteration(y, mode, prev, options.subspace_steps);
     case SvdMethod::randomized: {
       // Cold start: one-power-iteration randomized range finder.
       const CounterRng rng = CounterRng(options.seed)
@@ -58,15 +60,75 @@ void leaf_update(const dist::DistTensor<T>& y, int mode,
       for (idx_t i = 0; i < sketch.size(); ++i) {
         sketch.data()[i] = static_cast<T>(rng.normal(i));
       }
-      factors[mode] = llsv_subspace_iteration(
-          y, mode, la::orthonormalize<T>(sketch.cref()),
-          options.subspace_steps);
-      break;
+      return llsv_subspace_iteration(y, mode,
+                                     la::orthonormalize<T>(sketch.cref()),
+                                     options.subspace_steps);
     }
     case SvdMethod::gram_evd:
-      factors[mode] = llsv_gram(y, mode, ranks[mode]).u;
       break;
   }
+  return llsv_gram(y, mode, ranks[mode]).u;
+}
+
+// Updates factors[mode] from `y`, the all-but-one multi-TTM result. When
+// `report` is non-null, numerical hazards degrade gracefully instead of
+// throwing: the primary method's failure (numerical_error or a non-finite
+// update) falls back to Gram+EVD, whose failure falls back to keeping the
+// previous factor. Collective consistency: every fallback decision is a
+// deterministic function of *replicated* data (the EVD/QRCP run on
+// replicated matrices, and factor updates are replicated), so all ranks
+// take identical branches and the collective schedule stays matched.
+template <typename T>
+void leaf_update(const dist::DistTensor<T>& y, int mode,
+                 std::vector<la::Matrix<T>>& factors,
+                 const std::vector<idx_t>& ranks, const HooiOptions& options,
+                 int sweep_index, SolveReport* report) {
+  if (report == nullptr) {
+    factors[mode] =
+        leaf_update_primary(y, mode, factors[mode], ranks, options,
+                            sweep_index);
+    return;
+  }
+
+  la::Matrix<T> updated;
+  bool ok = false;
+  try {
+    updated = leaf_update_primary(y, mode, factors[mode], ranks, options,
+                                  sweep_index);
+    ok = la::all_finite(updated);
+    if (!ok) {
+      report->record(sweep_index, mode, "nonfinite_update",
+                     variant_name(options) + " produced a non-finite factor");
+    }
+  } catch (const numerical_error& e) {
+    report->record(sweep_index, mode, "primary_failed", e.what());
+  }
+
+  if (!ok && options.svd_method != SvdMethod::gram_evd) {
+    // Second chance: Gram+EVD tolerates a wider range of inputs than the
+    // QRCP subspace path (it never divides by a pivot).
+    try {
+      updated = llsv_gram(y, mode, ranks[mode]).u;
+      ok = la::all_finite(updated);
+      report->record(sweep_index, mode, "fallback_gram_evd",
+                     ok ? "recovered via Gram+EVD"
+                        : "Gram+EVD also produced non-finite values");
+    } catch (const numerical_error& e) {
+      report->record(sweep_index, mode, "fallback_gram_evd_failed", e.what());
+    }
+  }
+
+  if (ok) {
+    factors[mode] = std::move(updated);
+    return;
+  }
+  // Last resort: keep the previous factor (clamped to the requested rank).
+  // It is orthonormal and finite, so the sweep stays well-posed; accuracy
+  // for this mode simply does not improve this sweep.
+  const idx_t keep = std::min<idx_t>(factors[mode].cols(), ranks[mode]);
+  factors[mode] = factors[mode].leading_block(factors[mode].rows(), keep);
+  report->record(sweep_index, mode, "kept_previous_factor",
+                 "all update paths failed; factor unchanged this sweep");
 }
 
 // Direct sweep (Alg. 2): one fresh multi-TTM from X per subiteration.
@@ -75,7 +137,7 @@ dist::DistTensor<T> sweep_direct(const dist::DistTensor<T>& x,
                                  std::vector<la::Matrix<T>>& factors,
                                  const std::vector<idx_t>& ranks,
                                  const HooiOptions& options,
-                                 int sweep_index) {
+                                 int sweep_index, SolveReport* report) {
   const int d = x.ndims();
   dist::DistTensor<T> core;
   for (int j = 0; j < d; ++j) {
@@ -90,7 +152,7 @@ dist::DistTensor<T> sweep_direct(const dist::DistTensor<T>& x,
         src = &y;
       }
     }
-    leaf_update(y, j, factors, ranks, options, sweep_index);
+    leaf_update(y, j, factors, ranks, options, sweep_index, report);
     if (j == d - 1) {
       prof::TraceSpan t("core_ttm", Phase::ttm);
       core = dist::dist_ttm(y, j, factors[j].cref());
@@ -108,11 +170,12 @@ void sweep_tree_recurse(const dist::DistTensor<T>& node,
                         std::vector<la::Matrix<T>>& factors,
                         const std::vector<idx_t>& ranks,
                         const HooiOptions& options, int sweep_index,
-                        int d, dist::DistTensor<T>& core) {
+                        int d, dist::DistTensor<T>& core,
+                        SolveReport* report) {
   if (modes.size() == 1) {
     const int m = modes[0];
     prof::TraceSpan mode_span("mode", static_cast<std::int64_t>(m));
-    leaf_update(node, m, factors, ranks, options, sweep_index);
+    leaf_update(node, m, factors, ranks, options, sweep_index, report);
     if (m == d - 1) {
       prof::TraceSpan t("core_ttm", Phase::ttm);
       core = dist::dist_ttm(node, m, factors[m].cref());
@@ -135,7 +198,8 @@ void sweep_tree_recurse(const dist::DistTensor<T>& node,
         src = &a;
       }
     }
-    sweep_tree_recurse(a, mu, factors, ranks, options, sweep_index, d, core);
+    sweep_tree_recurse(a, mu, factors, ranks, options, sweep_index, d,
+                       core, report);
   }
   // Multiply the mu modes with their freshly-updated factors and recurse
   // into the eta leaves.
@@ -149,7 +213,8 @@ void sweep_tree_recurse(const dist::DistTensor<T>& node,
         src = &b;
       }
     }
-    sweep_tree_recurse(b, eta, factors, ranks, options, sweep_index, d, core);
+    sweep_tree_recurse(b, eta, factors, ranks, options, sweep_index, d,
+                       core, report);
   }
 }
 
@@ -158,12 +223,13 @@ dist::DistTensor<T> sweep_tree(const dist::DistTensor<T>& x,
                                std::vector<la::Matrix<T>>& factors,
                                const std::vector<idx_t>& ranks,
                                const HooiOptions& options,
-                               int sweep_index) {
+                               int sweep_index, SolveReport* report) {
   const int d = x.ndims();
   std::vector<int> all(d);
   for (int j = 0; j < d; ++j) all[j] = j;
   dist::DistTensor<T> core;
-  sweep_tree_recurse(x, all, factors, ranks, options, sweep_index, d, core);
+  sweep_tree_recurse(x, all, factors, ranks, options, sweep_index, d,
+                     core, report);
   return core;
 }
 
@@ -173,7 +239,8 @@ template <typename T>
 dist::DistTensor<T> hooi_sweep(const dist::DistTensor<T>& x,
                                std::vector<la::Matrix<T>>& factors,
                                const std::vector<idx_t>& ranks,
-                               const HooiOptions& options, int sweep_index) {
+                               const HooiOptions& options, int sweep_index,
+                               SolveReport* report) {
   RAHOOI_REQUIRE(static_cast<int>(factors.size()) == x.ndims(),
                  "hooi_sweep: one factor per mode required");
   RAHOOI_REQUIRE(static_cast<int>(ranks.size()) == x.ndims(),
@@ -181,20 +248,36 @@ dist::DistTensor<T> hooi_sweep(const dist::DistTensor<T>& x,
   prof::TraceSpan span("sweep", static_cast<std::int64_t>(sweep_index));
   if (x.ndims() == 1) {
     // Degenerate single-mode case: HOOI reduces to one LLSV of X itself.
-    leaf_update(x, 0, factors, ranks, options, sweep_index);
+    leaf_update(x, 0, factors, ranks, options, sweep_index, report);
     prof::TraceSpan t("core_ttm", Phase::ttm);
     return dist::dist_ttm(x, 0, factors[0].cref());
   }
   return options.use_dimension_tree
-             ? sweep_tree(x, factors, ranks, options, sweep_index)
-             : sweep_direct(x, factors, ranks, options, sweep_index);
+             ? sweep_tree(x, factors, ranks, options, sweep_index, report)
+             : sweep_direct(x, factors, ranks, options, sweep_index, report);
 }
+
+namespace {
+
+/// World rank for fault-site matching: the Runtime thread binding when
+/// present (rank threads), else the communicator rank (serial API).
+template <typename T>
+int fault_rank_of(const dist::DistTensor<T>& x) {
+  const int bound = comm::bound_world_rank();
+  return bound >= 0 ? bound : x.grid().world().rank();
+}
+
+}  // namespace
 
 template <typename T>
 HooiResult<T> hooi(const dist::DistTensor<T>& x,
                    const std::vector<idx_t>& ranks,
                    const HooiOptions& options) {
-  RAHOOI_REQUIRE(options.max_iters >= 1, "hooi: need at least one sweep");
+  validate(options);
+  if (options.collective_timeout_ms > 0.0) {
+    x.grid().world().set_collective_timeout(options.collective_timeout_ms /
+                                            1000.0);
+  }
   HooiResult<T> out;
   std::optional<prof::ScopedRecorder> installed;
   if (options.profile && prof::recorder() == nullptr) {
@@ -205,17 +288,58 @@ HooiResult<T> hooi(const dist::DistTensor<T>& x,
   // phase bucket, so the per-phase breakdown sums to this span's wall time.
   prof::TraceSpan root("hooi", Phase::other);
   out.decomposition.x_norm_sq = x.norm_squared();
-  out.decomposition.factors =
-      random_factors<T>(x.global_dims(), ranks, options.seed);
 
+  int start = 0;
   double prev_error = 1.0;
-  for (int iter = 0; iter < options.max_iters; ++iter) {
-    out.decomposition.core =
-        hooi_sweep(x, out.decomposition.factors, ranks, options, iter);
+  if (!options.restore_path.empty()) {
+    // Every rank reads the (replicated) checkpoint itself — no broadcast
+    // needed, and a corrupt file fails identically everywhere.
+    SweepCheckpoint<T> ck = load_checkpoint<T>(options.restore_path);
+    RAHOOI_REQUIRE(ck.seed == options.seed,
+                   "restore: checkpoint seed differs from options.seed");
+    RAHOOI_REQUIRE(ck.ranks == ranks,
+                   "restore: checkpoint ranks differ from requested ranks");
+    RAHOOI_REQUIRE(static_cast<int>(ck.factors.size()) == x.ndims(),
+                   "restore: checkpoint order differs from the tensor");
+    for (int j = 0; j < x.ndims(); ++j) {
+      RAHOOI_REQUIRE(ck.factors[j].rows() == x.global_dim(j),
+                     "restore: checkpoint dims differ from the tensor");
+    }
+    RAHOOI_REQUIRE(ck.sweeps_done < options.max_iters,
+                   "restore: checkpointed solve already ran max_iters sweeps");
+    out.decomposition.factors = std::move(ck.factors);
+    out.error_history = std::move(ck.error_history);
+    start = static_cast<int>(ck.sweeps_done);
+    out.iterations = start;
+    if (!out.error_history.empty()) prev_error = out.error_history.back();
+  } else {
+    out.decomposition.factors =
+        random_factors<T>(x.global_dims(), ranks, options.seed);
+  }
+
+  for (int iter = start; iter < options.max_iters; ++iter) {
+    // Solver-level fault site: "kill:sweep@R#N" in a fault plan kills rank
+    // R at the start of its Nth sweep (the checkpoint/restart ctest hook).
+    fault::inject_point("sweep", fault_rank_of(x));
+    out.decomposition.core = hooi_sweep(x, out.decomposition.factors, ranks,
+                                        options, iter, &out.report);
     out.decomposition.core_norm_sq = out.decomposition.core.norm_squared();
     ++out.iterations;
     const double err = out.decomposition.relative_error();
     out.error_history.push_back(err);
+
+    if (!options.checkpoint_path.empty() &&
+        x.grid().world().rank() == 0) {
+      // Factors are replicated, so rank 0's copy is the world's state.
+      SweepCheckpoint<T> ck;
+      ck.sweeps_done = iter + 1;
+      ck.seed = options.seed;
+      ck.ranks = ranks;
+      ck.factors = out.decomposition.factors;
+      ck.error_history = out.error_history;
+      save_checkpoint(options.checkpoint_path, ck);
+    }
+
     if (options.convergence_tol > 0.0 &&
         prev_error - err < options.convergence_tol) {
       break;
@@ -231,7 +355,7 @@ HooiResult<T> hooi(const dist::DistTensor<T>& x,
       std::uint64_t);                                                     \
   template dist::DistTensor<T> hooi_sweep<T>(                             \
       const dist::DistTensor<T>&, std::vector<la::Matrix<T>>&,            \
-      const std::vector<idx_t>&, const HooiOptions&, int);                \
+      const std::vector<idx_t>&, const HooiOptions&, int, SolveReport*);  \
   template HooiResult<T> hooi<T>(const dist::DistTensor<T>&,              \
                                  const std::vector<idx_t>&,               \
                                  const HooiOptions&);

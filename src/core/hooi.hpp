@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/options.hpp"
+#include "core/solve_report.hpp"
 #include "core/sthosvd.hpp"
 #include "prof/trace.hpp"
 
@@ -19,6 +20,9 @@ struct HooiResult {
   int iterations = 0;
   /// Relative error after each sweep (via the core-norm identity).
   std::vector<double> error_history;
+  /// Degradation events (numerical fallbacks taken mid-solve); empty for a
+  /// clean solve. See core/solve_report.hpp.
+  SolveReport report;
   /// This rank's span trace, present when HooiOptions::profile asked hooi()
   /// to install its own Recorder (null when profiling was off or a Recorder
   /// was already installed, e.g. by comm::Runtime::run's rank_traces).
@@ -40,16 +44,24 @@ std::vector<la::Matrix<T>> random_factors(const std::vector<idx_t>& dims,
 /// LLSV. For subspace iteration, `factors` must already have ranks[j]
 /// orthonormal columns (they are the iteration's starting subspace).
 /// `sweep_index` distinguishes sweeps for the randomized method's fresh
-/// sketches (any value is fine for the other methods).
+/// sketches (any value is fine for the other methods). When `report` is
+/// non-null, numerical hazards (non-finite updates, EVD non-convergence)
+/// degrade gracefully — fall back to Gram+EVD, then to keeping the previous
+/// factor — and are recorded there instead of thrown.
 template <typename T>
 dist::DistTensor<T> hooi_sweep(const dist::DistTensor<T>& x,
                                std::vector<la::Matrix<T>>& factors,
                                const std::vector<idx_t>& ranks,
                                const HooiOptions& options,
-                               int sweep_index = 0);
+                               int sweep_index = 0,
+                               SolveReport* report = nullptr);
 
 /// Rank-specified HOOI (Alg. 2): random initialization, `options.max_iters`
-/// sweeps (optionally fewer if convergence_tol is met).
+/// sweeps (optionally fewer if convergence_tol is met). Fault-tolerance
+/// knobs of HooiOptions: collective_timeout_ms arms the hang watchdog,
+/// checkpoint_path saves sweep state after every sweep, restore_path
+/// resumes a checkpointed solve (the remaining sweeps replay bitwise
+/// identically to the uninterrupted run; see docs/ROBUSTNESS.md).
 template <typename T>
 HooiResult<T> hooi(const dist::DistTensor<T>& x,
                    const std::vector<idx_t>& ranks,

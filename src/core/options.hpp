@@ -39,6 +39,20 @@ struct HooiOptions {
   /// count).
   double convergence_tol = 0.0;
   std::uint64_t seed = 1;           ///< random factor initialization seed
+  /// Collective hang watchdog deadline in milliseconds (0 disables). Armed
+  /// on the tensor's world communicator at solver entry; a collective wait
+  /// exceeding it aborts the run with comm::TimeoutError and a report of
+  /// which rank is parked in which collective (docs/ROBUSTNESS.md).
+  double collective_timeout_ms = 0.0;
+  /// When non-empty, rank 0 writes a versioned+checksummed checkpoint of
+  /// the sweep state (factors, ranks, seed, error history) to this path
+  /// after every completed sweep (core/checkpoint.hpp).
+  std::string checkpoint_path;
+  /// When non-empty, hooi() resumes from the checkpoint at this path
+  /// instead of random initialization: the remaining sweeps run exactly as
+  /// the uninterrupted solve would have run them (bitwise, thanks to the
+  /// counter-based RNG and canonical-order reductions).
+  std::string restore_path;
   /// Record a hierarchical trace of the run (prof::TraceSpan events). When
   /// set and no prof::Recorder is already installed on the calling thread,
   /// hooi() and rank_adaptive_hooi() install one and hand it back in
@@ -88,5 +102,12 @@ struct RankAdaptiveOptions {
 /// Variant label as used in the paper's figures ("STHOSVD", "HOOI",
 /// "HOOI-DT", "HOSI", "HOSI-DT").
 std::string variant_name(const HooiOptions& o);
+
+/// Entry validation run by hooi() / rank_adaptive_hooi(): rejects
+/// non-finite or out-of-range knobs with precondition_error before any
+/// collective runs, so misconfiguration fails identically on every rank
+/// instead of desynchronizing the world mid-solve.
+void validate(const HooiOptions& o);
+void validate(const RankAdaptiveOptions& o);
 
 }  // namespace rahooi::core

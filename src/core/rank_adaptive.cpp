@@ -3,8 +3,10 @@
 #include <cmath>
 #include <optional>
 
+#include "comm/monitor.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
+#include "fault/fault.hpp"
 #include "prof/trace.hpp"
 
 namespace rahooi::core {
@@ -123,10 +125,11 @@ RankAdaptiveResult<T> rank_adaptive_hooi(
   const int d = x.ndims();
   RAHOOI_REQUIRE(static_cast<int>(initial_ranks.size()) == d,
                  "rank_adaptive_hooi: one initial rank per mode required");
-  RAHOOI_REQUIRE(options.tolerance > 0.0 && options.tolerance < 1.0,
-                 "rank_adaptive_hooi: tolerance must be in (0, 1)");
-  RAHOOI_REQUIRE(options.growth_factor > 1.0,
-                 "rank_adaptive_hooi: growth factor must exceed 1");
+  validate(options);
+  if (options.hooi.collective_timeout_ms > 0.0) {
+    x.grid().world().set_collective_timeout(
+        options.hooi.collective_timeout_ms / 1000.0);
+  }
 
   RankAdaptiveResult<T> out;
   std::optional<prof::ScopedRecorder> installed;
@@ -155,10 +158,16 @@ RankAdaptiveResult<T> rank_adaptive_hooi(
     rec.index = iter;
     rec.sweep_ranks = ranks;
 
+    // Solver-level fault site, same semantics as in hooi() (see there).
+    {
+      const int bound = comm::bound_world_rank();
+      fault::inject_point(
+          "sweep", bound >= 0 ? bound : x.grid().world().rank());
+    }
     x.grid().world().barrier();
     Stopwatch sweep_clock;
     dist::DistTensor<T> core =
-        hooi_sweep(x, factors, ranks, options.hooi, iter);
+        hooi_sweep(x, factors, ranks, options.hooi, iter, &out.report);
     const double core_norm_sq = core.norm_squared();
     x.grid().world().barrier();
     rec.seconds = sweep_clock.elapsed();
@@ -264,7 +273,8 @@ RankAdaptiveResult<T> rank_adaptive_hooi(
     // Reconstruct a replicated TuckerTensor from the final factors by one
     // more core computation.
     dist::DistTensor<T> core =
-        hooi_sweep(x, factors, ranks, options.hooi, options.max_iters + 1);
+        hooi_sweep(x, factors, ranks, options.hooi, options.max_iters + 1,
+                   &out.report);
     out.tucker.core = core.allgather_full();
     out.tucker.factors = factors;
   }

@@ -45,6 +45,10 @@ struct RankAdaptiveResult {
     return static_cast<double>(compressed_size) / full;
   }
 
+  /// Degradation events (numerical fallbacks taken mid-solve); empty for a
+  /// clean solve. See core/solve_report.hpp.
+  SolveReport report;
+
   /// This rank's span trace, present when RankAdaptiveOptions::hooi.profile
   /// asked rank_adaptive_hooi() to install its own Recorder (null when
   /// profiling was off or a Recorder was already installed).

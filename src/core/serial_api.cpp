@@ -8,7 +8,7 @@ namespace {
 // local copies.
 template <typename T, typename Fn>
 SerialResult<T> with_serial_grid(const tensor::Tensor<T>& x, Fn&& fn) {
-  comm::Comm world(std::make_shared<comm::Context>(1), 0);
+  comm::Comm world(comm::Context::create(1), 0);
   dist::ProcessorGrid grid(world, std::vector<int>(x.ndims(), 1));
   tensor::Tensor<T> local = x;  // the single rank owns the whole tensor
   dist::DistTensor<T> xd(grid, x.dims(), std::move(local));

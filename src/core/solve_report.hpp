@@ -1,0 +1,47 @@
+#pragma once
+// Degradation telemetry for fault-tolerant solves.
+//
+// When a numerical hazard appears mid-solve (non-finite Gram entries, an
+// EVD that fails to converge), the solver does not throw: it falls back to
+// a cheaper-but-safer update and records what happened here, so callers can
+// distinguish a clean solve from one that survived by degrading
+// (docs/ROBUSTNESS.md). Every fallback decision is a deterministic function
+// of replicated data, so all ranks record the same events and stay in
+// collective lockstep.
+
+#include <string>
+#include <vector>
+
+namespace rahooi::core {
+
+/// One degradation event.
+struct SolveEvent {
+  int sweep = 0;      ///< sweep index when the event occurred
+  int mode = -1;      ///< affected mode (-1 when not mode-specific)
+  std::string kind;   ///< e.g. "fallback_gram_evd", "kept_previous_factor"
+  std::string detail; ///< human-readable cause
+};
+
+struct SolveReport {
+  std::vector<SolveEvent> events;
+
+  void record(int sweep, int mode, std::string kind, std::string detail) {
+    events.push_back(
+        SolveEvent{sweep, mode, std::move(kind), std::move(detail)});
+  }
+
+  /// True when the solve took any fallback path.
+  bool degraded() const { return !events.empty(); }
+
+  std::string to_string() const {
+    std::string out;
+    for (const SolveEvent& e : events) {
+      out += "sweep " + std::to_string(e.sweep) + " mode " +
+             std::to_string(e.mode) + ": " + e.kind + " (" + e.detail +
+             ")\n";
+    }
+    return out;
+  }
+};
+
+}  // namespace rahooi::core

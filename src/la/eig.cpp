@@ -98,8 +98,12 @@ void tql2(idx_t n, std::vector<double>& d, std::vector<double>& e,
         }
       }
       if (m != l) {
-        RAHOOI_REQUIRE(iter++ < 64,
-                       "tql2: QL iteration failed to converge");
+        // Convergence failure is a property of the input data (e.g. NaNs in
+        // the Gram matrix), not caller misuse: numerical_error so the solver
+        // fallback chain can catch it and degrade gracefully.
+        if (iter++ >= 64) {
+          throw numerical_error("tql2: QL iteration failed to converge");
+        }
         double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
         double r = std::hypot(g, 1.0);
         g = d[m] - d[l] + e[l] / (g + sign(r, g));

@@ -6,6 +6,7 @@
 // the tensor's buffer with no copying, which is what makes the TTM-as-GEMM
 // formulation cheap.
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <new>
@@ -186,5 +187,21 @@ class Matrix {
   idx_t cols_ = 0;
   std::vector<T> data_;
 };
+
+/// True iff every element is finite (no NaN/Inf). The solver's graceful-
+/// degradation checks run this on Gram matrices and factor updates before
+/// trusting them.
+template <typename T>
+bool all_finite(const T* data, idx_t n) {
+  for (idx_t i = 0; i < n; ++i) {
+    if (!std::isfinite(static_cast<double>(data[i]))) return false;
+  }
+  return true;
+}
+
+template <typename T>
+bool all_finite(const Matrix<T>& m) {
+  return all_finite(m.data(), m.size());
+}
 
 }  // namespace rahooi::la

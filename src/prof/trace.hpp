@@ -61,6 +61,10 @@ class Recorder {
 
   const std::vector<TraceEvent>& events() const { return events_; }
 
+  /// Path of the currently open span chain ("" when none). Read by the
+  /// collective hang watchdog to report *where* a parked rank is stuck.
+  std::string_view current_path() const { return path_; }
+
   /// Wall seconds attributed per Phase with innermost-tag semantics: a
   /// tagged span contributes its duration minus the durations of tagged
   /// spans nested inside it, so the array sums to root-span time with no

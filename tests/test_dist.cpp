@@ -416,5 +416,61 @@ TEST(DistOps, TtmCommunicationOnlyAlongModeDimension) {
       &per_rank);
 }
 
+// Misuse must fail fast with precondition_error on every rank (identical,
+// deterministic message) rather than desynchronizing the world.
+TEST(DistMisuse, GridProductMustMatchWorldSize) {
+  EXPECT_THROW(comm::Runtime::run(4,
+                                  [](comm::Comm& world) {
+                                    ProcessorGrid grid(world, {2, 3, 1});
+                                  }),
+               precondition_error);
+}
+
+TEST(DistMisuse, GridRejectsEmptyAndNonPositiveDims) {
+  EXPECT_THROW(comm::Runtime::run(2,
+                                  [](comm::Comm& world) {
+                                    ProcessorGrid grid(world, {});
+                                  }),
+               precondition_error);
+  EXPECT_THROW(comm::Runtime::run(2,
+                                  [](comm::Comm& world) {
+                                    ProcessorGrid grid(world, {-2, -1});
+                                  }),
+               precondition_error);
+}
+
+TEST(DistMisuse, DistTensorRejectsOrderMismatch) {
+  EXPECT_THROW(
+      comm::Runtime::run(4,
+                         [](comm::Comm& world) {
+                           ProcessorGrid grid(world, {2, 2, 1});
+                           // 2 global dims for a 3-d grid.
+                           auto x = DistTensor<double>::generate(
+                               grid, {4, 4},
+                               [](const std::vector<idx_t>&) { return 0.0; });
+                         }),
+      precondition_error);
+}
+
+TEST(DistMisuse, DistTtmRejectsBadModeAndShape) {
+  const std::vector<idx_t> dims = {4, 4, 4};
+  EXPECT_THROW(comm::Runtime::run(1,
+                                  [&](comm::Comm& world) {
+                                    ProcessorGrid grid(world, {1, 1, 1});
+                                    auto x = make_dist<double>(grid, dims);
+                                    auto u = random_matrix<double>(4, 2, 7);
+                                    (void)dist_ttm(x, 3, u.cref());
+                                  }),
+               precondition_error);
+  EXPECT_THROW(comm::Runtime::run(1,
+                                  [&](comm::Comm& world) {
+                                    ProcessorGrid grid(world, {1, 1, 1});
+                                    auto x = make_dist<double>(grid, dims);
+                                    auto u = random_matrix<double>(5, 2, 7);
+                                    (void)dist_ttm(x, 0, u.cref());
+                                  }),
+               precondition_error);
+}
+
 }  // namespace
 }  // namespace rahooi::dist

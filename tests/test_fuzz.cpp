@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
 
 #include "comm/runtime.hpp"
 #include "core/hooi.hpp"
@@ -62,10 +65,33 @@ dist::DistTensor<T> dist_of(const dist::ProcessorGrid& grid,
       [&serial](const std::vector<idx_t>& g) { return serial.at(g); });
 }
 
-class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  // Every assertion names the seed that reproduces the failing case:
+  // rerun with RAHOOI_FUZZ_SEED=<seed> to fuzz only that case.
+  void SetUp() override {
+    trace_ = std::make_unique<::testing::ScopedTrace>(
+        __FILE__, __LINE__,
+        "RAHOOI_FUZZ_SEED=" + std::to_string(GetParam()) +
+            " reproduces this case");
+  }
+  void TearDown() override { trace_.reset(); }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
-                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+ private:
+  std::unique_ptr<::testing::ScopedTrace> trace_;
+};
+
+// Default seed sweep, overridable with RAHOOI_FUZZ_SEED=<n> to reproduce a
+// reported failure in isolation.
+std::vector<std::uint64_t> fuzz_seeds() {
+  if (const char* env = std::getenv("RAHOOI_FUZZ_SEED");
+      env != nullptr && *env != '\0') {
+    return {std::strtoull(env, nullptr, 10)};
+  }
+  return {11u, 22u, 33u, 44u, 55u, 66u};
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::ValuesIn(fuzz_seeds()));
 
 TEST_P(FuzzSweep, DistTtmMatchesSerialOnRandomShapeAndGrid) {
   const FuzzCase c = make_case(GetParam());

@@ -87,5 +87,42 @@ TEST(SerialApi, FourWayDouble) {
   EXPECT_EQ(res.tucker.ndims(), 4);
 }
 
+// Misuse fails fast with precondition_error (entry validation,
+// docs/ROBUSTNESS.md) instead of crashing mid-solve.
+TEST(SerialApiMisuse, HooiRejectsRanksAboveDims) {
+  auto x = random_tensor<double>({4, 4, 4}, 50);
+  const std::vector<la::idx_t> too_big{5, 2, 2};
+  EXPECT_THROW(hooi_serial(x, too_big, HooiOptions{}), precondition_error);
+}
+
+TEST(SerialApiMisuse, HooiRejectsRankCountMismatch) {
+  auto x = random_tensor<double>({4, 4, 4}, 51);
+  const std::vector<la::idx_t> wrong_order{2, 2};
+  EXPECT_THROW(hooi_serial(x, wrong_order, HooiOptions{}),
+               precondition_error);
+}
+
+TEST(SerialApiMisuse, HooiRejectsInvalidOptions) {
+  auto x = random_tensor<double>({4, 4, 4}, 52);
+  const std::vector<la::idx_t> ranks{2, 2, 2};
+  HooiOptions bad;
+  bad.max_iters = 0;
+  EXPECT_THROW(hooi_serial(x, ranks, bad), precondition_error);
+  bad = {};
+  bad.collective_timeout_ms = -5.0;
+  EXPECT_THROW(hooi_serial(x, ranks, bad), precondition_error);
+}
+
+TEST(SerialApiMisuse, RankAdaptiveRejectsInvalidOptions) {
+  auto x = random_tensor<double>({4, 4, 4}, 53);
+  const std::vector<la::idx_t> ranks{2, 2, 2};
+  RankAdaptiveOptions bad;
+  bad.tolerance = 0.0;
+  EXPECT_THROW(rank_adaptive_serial(x, ranks, bad), precondition_error);
+  bad = {};
+  bad.growth_factor = 1.0;
+  EXPECT_THROW(rank_adaptive_serial(x, ranks, bad), precondition_error);
+}
+
 }  // namespace
 }  // namespace rahooi::core
