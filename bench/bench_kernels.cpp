@@ -126,7 +126,8 @@ void bench_gemm_square(idx_t n, const char* tag,
   auto a = random_matrix<T>(n, n, 1);
   auto b = random_matrix<T>(n, n, 2);
   la::Matrix<T> c(n, n);
-  const double flops = 2.0 * static_cast<double>(n) * n * n;
+  const double flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(n);
   const double gf = time_gflops(flops, [&] {
     la::gemm<T>(la::Op::none, la::Op::none, T{1}, a, b, T{0}, c.ref());
   });
@@ -172,7 +173,8 @@ void bench_mode_gram(int mode, std::vector<JsonEntry>& out, const char* tag) {
   auto x = random_tensor<T>({64, 64, 64}, 10);
   const idx_t n = x.dim(mode);
   la::Matrix<T> g(n, n);
-  const double flops = static_cast<double>(n + 1) * x.size();
+  const double flops =
+      static_cast<double>(n + 1) * static_cast<double>(x.size());
   const double gf = time_gflops(flops, [&] {
     auto gm = tensor::mode_gram(x, mode);
     benchmark::DoNotOptimize(gm.data());
@@ -281,7 +283,8 @@ void BM_GemmSquare(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   state.counters["flops"] = benchmark::Counter(
-      2.0 * static_cast<double>(n) * n * n * state.iterations(),
+      2.0 * static_cast<double>(n) * static_cast<double>(n) *
+          static_cast<double>(n) * static_cast<double>(state.iterations()),
       benchmark::Counter::kIsRate);
 }
 

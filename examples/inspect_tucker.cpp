@@ -54,7 +54,8 @@ int main(int argc, char** argv) {
                 examples::dims_to_string(extents).c_str(),
                 examples::dims_to_string(offsets).c_str(), seconds);
     std::printf("region stats: min %.4g  max %.4g  mean %.4g  norm %.4g\n",
-                mn, mx, sum / region.size(), region.norm());
+                mn, mx, sum / static_cast<double>(region.size()),
+                region.norm());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

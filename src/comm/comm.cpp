@@ -11,6 +11,9 @@ Comm Comm::split(int color, int key) const {
   const int p = size();
   if (p == 1) return *this;
 
+  // color/key legitimately differ per rank; only the op kind is replicated.
+  ctx_->schedule_check(rank_, SchedFingerprint{SchedOp::split, 0, -1, 0});
+
   // Publish (color, key) and collect everyone's.
   std::int64_t mine[2] = {color, key};
   ctx_->post(rank_, SlotEntry{nullptr, nullptr, mine, 0});

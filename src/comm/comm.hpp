@@ -19,6 +19,13 @@
 // injected faults retried with bounded backoff) — and every blocking wait
 // underneath observes the world's sticky abort flag, so a dead rank releases
 // its peers via AbortedError instead of deadlocking them.
+//
+// Schedule sanitizing (docs/STATIC_ANALYSIS.md): when the world's
+// comm_check flag is up (RunOptions::comm_check / RAHOOI_COMM_CHECK), every
+// collective — not send/recv, which involve only two ranks — cross-validates
+// a fingerprint of its replicated arguments at an extra rendezvous before
+// running, so a divergent collective schedule aborts the world with a
+// two-rank report instead of deadlocking or corrupting replicated state.
 
 #include <cstdint>
 #include <memory>
@@ -26,6 +33,7 @@
 #include <vector>
 
 #include "comm/context.hpp"
+#include "comm/schedule_check.hpp"
 #include "common/contracts.hpp"
 #include "common/stats.hpp"
 #include "fault/fault.hpp"
@@ -48,6 +56,7 @@ class Comm {
   void barrier() const {
     prof::TraceSpan span("barrier");
     CollectiveGuard guard(ctx_.get(), rank_, "barrier");
+    ctx_->schedule_check(rank_, SchedFingerprint{SchedOp::barrier, 0, -1, 0});
     ctx_->barrier_wait();
   }
 
@@ -66,6 +75,9 @@ class Comm {
     CollectiveGuard guard(ctx_.get(), rank_, "bcast");
     RAHOOI_REQUIRE(root >= 0 && root < size(), "bcast: bad root");
     if (size() == 1) return;
+    ctx_->schedule_check(
+        rank_, SchedFingerprint{SchedOp::bcast, sched_dtype_tag<T>(), root,
+                                static_cast<std::uint64_t>(n) * sizeof(T)});
     ctx_->post(rank_, SlotEntry{data, data, nullptr, 0});
     ctx_->barrier_wait();
     if (rank_ != root) {
@@ -87,6 +99,9 @@ class Comm {
       if (out != in) std::copy(in, in + n, out);
       return;
     }
+    ctx_->schedule_check(
+        rank_, SchedFingerprint{SchedOp::reduce, sched_dtype_tag<T>(), root,
+                                static_cast<std::uint64_t>(n) * sizeof(T)});
     ctx_->post(rank_, SlotEntry{in, out, nullptr, 0});
     ctx_->barrier_wait();
     if (rank_ == root) {
@@ -114,6 +129,9 @@ class Comm {
     prof::TraceSpan span("allreduce");
     CollectiveGuard guard(ctx_.get(), rank_, "allreduce");
     if (size() == 1) return;
+    ctx_->schedule_check(
+        rank_, SchedFingerprint{SchedOp::allreduce, sched_dtype_tag<T>(), -1,
+                                static_cast<std::uint64_t>(n) * sizeof(T)});
     ctx_->post(rank_, SlotEntry{data, nullptr, nullptr, 0});
     ctx_->barrier_wait();
     std::vector<T> acc(static_cast<const T*>(ctx_->slot(0).in),
@@ -123,7 +141,7 @@ class Comm {
       for (idx_t i = 0; i < n; ++i) acc[i] += src[i];
     }
     ctx_->barrier_wait(Context::BarrierPhase::exit);
-    std::copy(acc.begin(), acc.end(), data);
+    if (n != 0) std::copy(acc.begin(), acc.end(), data);
     ctx_->barrier_wait(Context::BarrierPhase::exit);
     fault::inject_payload("allreduce", guard.world_rank(), data,
                           sizeof(T) * n);
@@ -157,6 +175,12 @@ class Comm {
       std::copy(in, in + mine, out);
       return;
     }
+    // `counts` must be replicated, so the total byte count is part of the
+    // schedule contract.
+    ctx_->schedule_check(
+        rank_,
+        SchedFingerprint{SchedOp::reduce_scatter, sched_dtype_tag<T>(), -1,
+                         static_cast<std::uint64_t>(total) * sizeof(T)});
     ctx_->post(rank_, SlotEntry{in, nullptr, nullptr, 0});
     ctx_->barrier_wait();
     std::fill(out, out + mine, T{});
@@ -182,6 +206,14 @@ class Comm {
     if (size() == 1) {
       std::copy(in, in + counts[0], out);
       return;
+    }
+    {
+      const idx_t total =
+          std::accumulate(counts.begin(), counts.end(), idx_t{0});
+      ctx_->schedule_check(
+          rank_,
+          SchedFingerprint{SchedOp::allgatherv, sched_dtype_tag<T>(), -1,
+                           static_cast<std::uint64_t>(total) * sizeof(T)});
     }
     ctx_->post(rank_, SlotEntry{in, nullptr, nullptr, 0});
     ctx_->barrier_wait();
@@ -217,9 +249,13 @@ class Comm {
                        static_cast<int>(recvcounts.size()) == size() &&
                        static_cast<int>(rdispls.size()) == size(),
                    "alltoallv: argument arrays must have one entry per rank");
+    // Per-rank counts may legitimately differ across ranks, so only the op
+    // kind and dtype are part of the replicated schedule contract.
+    ctx_->schedule_check(rank_, SchedFingerprint{SchedOp::alltoallv,
+                                                 sched_dtype_tag<T>(), -1, 0});
     ctx_->post(rank_, SlotEntry{in, nullptr, sdispls.data(), 0});
     ctx_->barrier_wait();
-    idx_t off_rank_bytes = 0;
+    double off_rank_bytes = 0.0;
     for (int s = 0; s < size(); ++s) {
       const auto& peer = ctx_->slot(s);
       const T* src =
@@ -228,8 +264,7 @@ class Comm {
       if (s != rank_) off_rank_bytes += bytes_of<T>(recvcounts[s]);
     }
     ctx_->barrier_wait(Context::BarrierPhase::exit);
-    stats::add_comm(CollectiveKind::alltoall,
-                    static_cast<double>(off_rank_bytes));
+    stats::add_comm(CollectiveKind::alltoall, off_rank_bytes);
   }
 
   /// Blocking tagged point-to-point.

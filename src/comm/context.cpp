@@ -20,6 +20,7 @@ Context::Context(int size, std::shared_ptr<Monitor> monitor)
     : size_(size),
       monitor_(monitor != nullptr ? std::move(monitor)
                                   : std::make_shared<Monitor>(size)),
+      sched_(size),
       slots_(size),
       children_(size),
       mailboxes_(size) {

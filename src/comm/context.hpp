@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "comm/monitor.hpp"
+#include "comm/schedule_check.hpp"
 
 namespace rahooi::comm {
 
@@ -98,6 +99,16 @@ class Context {
   /// monitor after raising the abort flag).
   void wake_all();
 
+  /// Collective-schedule sanitizer entry, called by every Comm collective
+  /// before its own first rendezvous. Disabled fast path (the default) is a
+  /// single relaxed atomic load; enabled, it runs the fingerprint
+  /// cross-validation rendezvous of schedule_check.hpp and throws
+  /// ScheduleDivergenceError on divergence.
+  void schedule_check(int rank, const SchedFingerprint& fp) {
+    if (size_ == 1 || !monitor_->comm_check()) return;
+    sched_.check(*this, rank, fp);
+  }
+
  private:
   struct Mailbox {
     std::mutex mutex;
@@ -111,6 +122,7 @@ class Context {
 
   int size_;
   std::shared_ptr<Monitor> monitor_;
+  ScheduleChecker sched_;
 
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;

@@ -36,6 +36,19 @@ class TimeoutError : public AbortedError {
   using AbortedError::AbortedError;
 };
 
+/// Raised by the collective-schedule sanitizer (src/comm/schedule_check.hpp,
+/// opt-in via RunOptions::comm_check): two ranks arrived at the same
+/// rendezvous with different collectives or incompatible arguments. A
+/// logic_error, not a runtime_error — a divergent schedule is always a
+/// programming error (a fallback decision computed from non-replicated
+/// data, a mismatched root, a reordered reduction), never an environmental
+/// failure. what() carries the divergence report: the op, both ranks' prof
+/// span paths, and the first mismatching call index on the communicator.
+class ScheduleDivergenceError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
 /// A transient communication failure (only ever produced by fault injection
 /// in this thread-based runtime; a real network transport would map link
 /// errors here). Retriable: collectives retry with bounded exponential

@@ -71,6 +71,18 @@ class Monitor {
   }
   double timeout() const { return timeout_s_.load(std::memory_order_relaxed); }
 
+  // -- collective-schedule sanitizer ---------------------------------------
+
+  /// Enables the collective-schedule divergence sanitizer on every context
+  /// attached to this world (docs/STATIC_ANALYSIS.md). Off by default: the
+  /// disabled fast path is one relaxed atomic load per collective.
+  void set_comm_check(bool on) {
+    comm_check_.store(on, std::memory_order_relaxed);
+  }
+  bool comm_check() const {
+    return comm_check_.load(std::memory_order_relaxed);
+  }
+
   // -- park registry -------------------------------------------------------
 
   /// Marks `world_rank` as blocked in collective `op` (entered now). `path`
@@ -101,6 +113,7 @@ class Monitor {
 
   int world_size_;
   std::atomic<bool> aborted_{false};
+  std::atomic<bool> comm_check_{false};
   std::atomic<double> timeout_s_{0.0};
   mutable std::mutex mutex_;  ///< guards origin_rank_/what_/contexts_
   int origin_rank_ = -1;

@@ -27,6 +27,23 @@ double resolve_timeout_s(const RunOptions& options) {
   return ms / 1000.0;
 }
 
+/// Resolves the schedule-sanitizer switch: explicit option wins; a negative
+/// option defers to the RAHOOI_COMM_CHECK environment variable ("0" = off),
+/// which in turn defers to the compile-time default (the RAHOOI_COMM_CHECK
+/// cmake option).
+bool resolve_comm_check(const RunOptions& options) {
+  if (options.comm_check >= 0) return options.comm_check != 0;
+  const char* env = std::getenv("RAHOOI_COMM_CHECK");
+  if (env != nullptr && *env != '\0') {
+    return !(env[0] == '0' && env[1] == '\0');
+  }
+#ifdef RAHOOI_COMM_CHECK_DEFAULT
+  return true;
+#else
+  return false;
+#endif
+}
+
 struct ClassifiedError {
   std::exception_ptr ptr;
   bool is_aborted = false;  ///< secondary: woken by someone else's failure
@@ -61,6 +78,7 @@ void Runtime::run(int p, const std::function<void(Comm&)>& fn,
   RAHOOI_REQUIRE(p >= 1, "need at least one rank");
   auto monitor = std::make_shared<Monitor>(p);
   monitor->set_timeout(resolve_timeout_s(options));
+  monitor->set_comm_check(resolve_comm_check(options));
   auto ctx = Context::create(p, monitor);
 
   std::vector<Stats> stats_store(p);

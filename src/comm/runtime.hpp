@@ -24,6 +24,13 @@ struct RunOptions {
   /// When non-null, receives one entry per failed rank after an aborted run
   /// (the entry whose error run() rethrows has root_cause = true).
   std::vector<RankFailure>* failures = nullptr;
+
+  /// Collective-schedule divergence sanitizer (comm/schedule_check.hpp).
+  /// < 0 (default): read RAHOOI_COMM_CHECK from the environment (unset,
+  /// empty, or "0" falls back to the build default — ON when the library
+  /// was configured with -DRAHOOI_COMM_CHECK=ON, else OFF). 0 disables
+  /// explicitly; > 0 enables.
+  int comm_check = -1;
 };
 
 class Runtime {

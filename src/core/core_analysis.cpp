@@ -26,7 +26,7 @@ tensor::Tensor<double> squared_prefix_sums(const tensor::Tensor<T>& core) {
       }
     }
   }
-  stats::add_flops(static_cast<double>(d) * core.size());
+  stats::add_flops(static_cast<double>(d) * static_cast<double>(core.size()));
   return prefix;
 }
 

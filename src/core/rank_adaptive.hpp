@@ -42,7 +42,7 @@ struct RankAdaptiveResult {
   double relative_size() const {
     idx_t full = 1;
     for (const auto& u : tucker.factors) full *= u.rows();
-    return static_cast<double>(compressed_size) / full;
+    return static_cast<double>(compressed_size) / static_cast<double>(full);
   }
 
   /// Degradation events (numerical fallbacks taken mid-solve); empty for a

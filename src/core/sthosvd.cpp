@@ -23,7 +23,7 @@ template <typename T>
 double TuckerResult<T>::compression_ratio() const {
   idx_t full = 1;
   for (const auto& u : factors) full *= u.rows();
-  return static_cast<double>(full) / compressed_size();
+  return static_cast<double>(full) / static_cast<double>(compressed_size());
 }
 
 template <typename T>

@@ -54,7 +54,9 @@ struct WavePack {
   }
 };
 
-double unit(idx_t i, idx_t n) { return static_cast<double>(i) / n; }
+double unit(idx_t i, idx_t n) {
+  return static_cast<double>(i) / static_cast<double>(n);
+}
 
 // Miranda-like: sharp but smooth mixing interface whose height is modulated
 // in (x, y), plus a turbulence spectrum. Matches the original's key trait:

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "prof/trace.hpp"
+
 namespace rahooi::dist {
 
 template <typename T>
@@ -59,6 +61,7 @@ DistTensor<T> DistTensor<T>::generate(
 
 template <typename T>
 double DistTensor<T>::norm_squared() const {
+  prof::TraceSpan span("norm");
   return grid_->world().allreduce_scalar(local_.sum_squares());
 }
 
@@ -69,6 +72,7 @@ double DistTensor<T>::norm() const {
 
 template <typename T>
 tensor::Tensor<T> DistTensor<T>::allgather_full() const {
+  prof::TraceSpan span("allgather_full");
   const comm::Comm& world = grid_->world();
   const int p = world.size();
   const int d = ndims();

@@ -1,6 +1,7 @@
 #include "dist/grid.hpp"
 
 #include "common/contracts.hpp"
+#include "prof/trace.hpp"
 
 namespace rahooi::dist {
 
@@ -19,6 +20,7 @@ ProcessorGrid::ProcessorGrid(comm::Comm world, std::vector<int> dims)
 
   // Sub-communicator along dimension j: color = linear index over all other
   // coordinates, key = coordinate j so sub-ranks equal grid coordinates.
+  prof::TraceSpan span("grid_setup");
   mode_comms_.reserve(dims_.size());
   for (int j = 0; j < ndims(); ++j) {
     int color = 0, stride = 1;

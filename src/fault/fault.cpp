@@ -18,7 +18,7 @@ struct Plan::Impl {
     std::atomic<std::uint64_t> fired{0};  ///< matches inside [nth, nth+count)
   };
 
-  explicit Impl(std::uint64_t seed) : seed(seed) {}
+  explicit Impl(std::uint64_t seed_in) : seed(seed_in) {}
 
   /// Consumes one match of rule `rs` and reports whether it fires. The
   /// per-rule counter makes nth-call matching deterministic regardless of

@@ -442,7 +442,8 @@ void gemm(Op op_a, Op op_b, T alpha, ConstMatrixRef<T> a, ConstMatrixRef<T> b,
     gemm_driver(m, n, ka, alpha, PackATrans<T>{a.data, a.ld},
                 PackBRows<T>{b.data, b.ld}, cw, false);
   }
-  stats::add_flops(2.0 * static_cast<double>(m) * n * ka);
+  stats::add_flops(2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                   static_cast<double>(ka));
 }
 
 template <typename T>
@@ -467,7 +468,8 @@ void syrk(T alpha, ConstMatrixRef<T> a, T beta, MatrixRef<T> c) {
                 PackBRows<T>{a.data, a.ld}, CwLower<T>{c.data, c.ld}, true);
     mirror_lower_to_upper(c);
   }
-  stats::add_flops(static_cast<double>(m) * (m + 1) * k);
+  stats::add_flops(static_cast<double>(m) * static_cast<double>(m + 1) *
+                   static_cast<double>(k));
 }
 
 template <typename T>
@@ -495,7 +497,8 @@ void gemm_strided_batch(Op op_b, idx_t batch, T alpha, const T* a, idx_t m,
     gemm_driver(m * batch, n, k, alpha, pa, PackBRows<T>{b.data, b.ld}, cw,
                 false);
   }
-  stats::add_flops(2.0 * static_cast<double>(m) * batch * n * k);
+  stats::add_flops(2.0 * static_cast<double>(m) * static_cast<double>(batch) *
+                   static_cast<double>(n) * static_cast<double>(k));
 }
 
 template <typename T>
@@ -513,7 +516,8 @@ void gemm_batch_tn(idx_t batch, T alpha, const T* a, idx_t rows, idx_t m,
   gemm_driver(m, n, kk, alpha, PackABatchRows<T>{a, rows, a_stride},
               PackBBatchCols<T>{b, rows, b_stride},
               CwPlain<T>{c.data, c.ld}, false);
-  stats::add_flops(2.0 * static_cast<double>(m) * n * kk);
+  stats::add_flops(2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                   static_cast<double>(kk));
 }
 
 template <typename T>
@@ -531,7 +535,8 @@ void syrk_batch_t(idx_t batch, T alpha, const T* a, idx_t rows, idx_t n,
                 CwLower<T>{c.data, c.ld}, true);
     mirror_lower_to_upper(c);
   }
-  stats::add_flops(static_cast<double>(n) * (n + 1) * kk);
+  stats::add_flops(static_cast<double>(n) * static_cast<double>(n + 1) *
+                   static_cast<double>(kk));
 }
 
 template <typename T>
@@ -571,7 +576,7 @@ void gemv(Op op_a, T alpha, ConstMatrixRef<T> a, const T* x, T beta, T* y) {
       y[i] += alpha * dot(n, a.col(i), x);
     }
   }
-  stats::add_flops(2.0 * static_cast<double>(m) * n);
+  stats::add_flops(2.0 * static_cast<double>(m) * static_cast<double>(n));
 }
 
 template <typename T>

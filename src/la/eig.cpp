@@ -179,7 +179,8 @@ EvdResult<T> sym_evd(ConstMatrixRef<T> a) {
   }
   // ~(4/3)n^3 reduction + ~(2/3 to 6)n^3 accumulation/QL; 9n^3 is the usual
   // leading-order accounting for SYEV with vectors.
-  stats::add_flops(9.0 * static_cast<double>(n) * n * n);
+  stats::add_flops(9.0 * static_cast<double>(n) * static_cast<double>(n) *
+                   static_cast<double>(n));
   return out;
 }
 

@@ -97,7 +97,9 @@ QrResult<T> qr_thin(ConstMatrixRef<T> a) {
   }
   out.q = form_q(h, tau, n, n);
   // Factorization ~2mn^2 - 2n^3/3 plus Q formation of similar cost.
-  stats::add_flops(4.0 * m * n * n - 4.0 / 3.0 * n * n * n);
+  const double md = static_cast<double>(m);
+  const double nd = static_cast<double>(n);
+  stats::add_flops(4.0 * md * nd * nd - 4.0 / 3.0 * nd * nd * nd);
   return out;
 }
 
@@ -175,7 +177,8 @@ QrcpResult<T> qrcp(ConstMatrixRef<T> a, idx_t k) {
     for (idx_t i = 0; i < top; ++i) out.r(i, j) = h(i, j);
   }
   out.q = form_q(h, tau, steps, k);
-  stats::add_flops(4.0 * m * n * std::min<idx_t>(k, n));
+  stats::add_flops(4.0 * static_cast<double>(m) * static_cast<double>(n) *
+                   static_cast<double>(std::min<idx_t>(k, n)));
   return out;
 }
 

@@ -115,7 +115,8 @@ SvdResult<T> svd_jacobi(ConstMatrixRef<T> a) {
     }
     out.u = std::move(q);
   }
-  stats::add_flops(6.0 * static_cast<double>(m) * n * n);
+  stats::add_flops(6.0 * static_cast<double>(m) * static_cast<double>(n) *
+                   static_cast<double>(n));
   return out;
 }
 

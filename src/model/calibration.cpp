@@ -38,8 +38,9 @@ MachineRates calibrate(bool quick) {
       la::gemm<float>(la::Op::none, la::Op::none, 1.0f, a, b, 0.0f, c.ref());
       ++reps;
     } while (clock.elapsed() < (quick ? 0.02 : 0.2));
-    rates.flops_per_sec =
-        2.0 * m * n * k * reps / std::max(clock.elapsed(), 1e-9);
+    rates.flops_per_sec = 2.0 * static_cast<double>(m) *
+                          static_cast<double>(n) * static_cast<double>(k) *
+                          reps / std::max(clock.elapsed(), 1e-9);
   }
 
   // Sequential rate: the EVD kernel itself (it is the STHOSVD bottleneck
@@ -59,8 +60,9 @@ MachineRates calibrate(bool quick) {
       (void)la::sym_evd<float>(s.cref());
       ++reps;
     } while (clock.elapsed() < (quick ? 0.02 : 0.2));
+    const double nd = static_cast<double>(n);
     rates.seq_flops_per_sec =
-        9.0 * n * n * n * reps / std::max(clock.elapsed(), 1e-9);
+        9.0 * nd * nd * nd * reps / std::max(clock.elapsed(), 1e-9);
   }
 
   // Local memory bandwidth: a large streaming AXPY (2 reads + 1 write per
@@ -75,7 +77,8 @@ MachineRates calibrate(bool quick) {
       la::axpy<float>(n, 1.0f, x.data(), y.data());
       ++reps;
     } while (clock.elapsed() < (quick ? 0.02 : 0.2));
-    rates.core_mem_bytes_per_sec = 3.0 * sizeof(float) * n * reps /
+    rates.core_mem_bytes_per_sec = 3.0 * sizeof(float) *
+                                   static_cast<double>(n) * reps /
                                    std::max(clock.elapsed(), 1e-9);
   }
 

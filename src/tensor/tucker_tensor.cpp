@@ -25,7 +25,8 @@ idx_t TuckerTensor<T>::full_size() const { return volume(full_dims()); }
 
 template <typename T>
 double TuckerTensor<T>::compression_ratio() const {
-  return static_cast<double>(full_size()) / compressed_size();
+  return static_cast<double>(full_size()) /
+         static_cast<double>(compressed_size());
 }
 
 template <typename T>

@@ -1,0 +1,14 @@
+// Lint fixture: collective invoked from span-zone code (self-test lints this
+// as src/core/...) with no live prof::TraceSpan in any enclosing scope.
+// Exactly one [collective-span] violation expected. Never compiled.
+namespace fixture {
+
+struct Comm {
+  void barrier() {}
+};
+
+inline void sync(Comm& world) {
+  world.barrier();
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Lint fixture: .cpp with a same-stem sibling header that is not included
+// first. Exactly one [include-order] violation expected. Never compiled.
+#include <vector>
+
+#include "bad_include_order.hpp"
+
+namespace fixture {
+
+inline std::vector<int> values() { return {1, 2, 3}; }
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Sibling header for bad_include_order.cpp (its presence is what arms the
+// include-order rule). Itself lint-clean. Never compiled.
+#pragma once
+
+namespace fixture {
+
+int answer();
+
+}  // namespace fixture

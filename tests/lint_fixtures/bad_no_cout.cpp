@@ -1,0 +1,10 @@
+// Lint fixture: library code writing to a process stream. Exactly one
+// [no-cout] violation expected. Never compiled — consumed by
+// `rahooi_lint --self-test` (see tools/rahooi_lint).
+#include <iostream>
+
+namespace fixture {
+
+inline void announce() { std::cout << "hello from a rank\n"; }
+
+}  // namespace fixture

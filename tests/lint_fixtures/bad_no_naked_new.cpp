@@ -1,0 +1,7 @@
+// Lint fixture: naked new expression in library code. Exactly one
+// [no-naked-new] violation expected. Never compiled.
+namespace fixture {
+
+inline int* leak(int n) { return new int[static_cast<unsigned>(n)]; }
+
+}  // namespace fixture

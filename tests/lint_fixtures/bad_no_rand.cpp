@@ -1,0 +1,9 @@
+// Lint fixture: C rand() in library code breaks deterministic replay.
+// Exactly one [no-rand] violation expected. Never compiled.
+#include <cstdlib>
+
+namespace fixture {
+
+inline int noise() { return std::rand() % 7; }
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Lint fixture: sleeping in library code outside src/fault. Exactly one
+// [no-sleep] violation expected. Never compiled.
+#include <chrono>
+#include <thread>
+
+namespace fixture {
+
+inline void stall() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Lint fixture: throw site outside the rahooi error taxonomy. Exactly one
+// [throw-taxonomy] violation expected. Never compiled.
+#include <stdexcept>
+
+namespace fixture {
+
+inline void fail() { throw std::runtime_error("untyped failure"); }
+
+}  // namespace fixture

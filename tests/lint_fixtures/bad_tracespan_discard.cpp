@@ -1,0 +1,14 @@
+// Lint fixture: TraceSpan constructed as a discarded temporary — the span
+// closes on the same statement and times nothing. Exactly one
+// [tracespan-discard] violation expected. Never compiled.
+namespace fixture {
+
+struct TraceSpan {
+  explicit TraceSpan(const char*) {}
+};
+
+inline void trace() {
+  TraceSpan("llsv");
+}
+
+}  // namespace fixture

@@ -1,0 +1,44 @@
+// Lint fixture: exercises the allowed spelling of every rule's pattern and
+// must produce zero violations. Never compiled.
+#include "clean.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace fixture {
+
+struct TraceSpan {
+  explicit TraceSpan(const char*) {}
+};
+
+struct Comm {
+  Comm() = default;
+  Comm(const Comm&) = delete;  // `= delete` is not a naked delete
+  void barrier() {}
+};
+
+// Collective under a live named span: allowed.
+inline void sync(Comm& world) {
+  TraceSpan span("sweep");
+  world.barrier();
+}
+
+// Formatting with snprintf (not printf) is allowed in library code.
+inline int format(char* buf, int n) {
+  return std::snprintf(buf, static_cast<std::size_t>(n), "rank report");
+}
+
+// Ownership via smart pointers, not naked new.
+inline std::unique_ptr<int> owned() { return std::make_unique<int>(7); }
+
+// Taxonomy throw and bare rethrow are both allowed.
+inline void taxonomy() { throw precondition_error("bad argument"); }
+inline void rethrow() {
+  try {
+    taxonomy();
+  } catch (...) {
+    throw;
+  }
+}
+
+}  // namespace fixture

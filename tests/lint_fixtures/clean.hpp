@@ -1,0 +1,10 @@
+// Sibling header for clean.cpp; lint-clean. Never compiled.
+#pragma once
+
+namespace fixture {
+
+struct precondition_error {
+  explicit precondition_error(const char*) {}
+};
+
+}  // namespace fixture

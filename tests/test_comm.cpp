@@ -88,7 +88,9 @@ TEST(Comm, ReduceScatterSplitsTheSum) {
     // sum over ranks: rank0 contributes i, ranks 1-2 contribute 1 each.
     const idx_t offset = world.rank() == 0 ? 0 : (world.rank() == 1 ? 2 : 3);
     for (std::size_t i = 0; i < out.size(); ++i) {
-      EXPECT_DOUBLE_EQ(out[i], (offset + i) + 2.0);
+      EXPECT_DOUBLE_EQ(out[i],
+                       static_cast<double>(offset + static_cast<idx_t>(i)) +
+                           2.0);
     }
   });
 }

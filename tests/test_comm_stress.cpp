@@ -144,14 +144,15 @@ TEST(CommStress, AlltoallvWithRaggedCounts) {
     std::vector<double> send(total_send);
     for (int r = 0; r < p; ++r) {
       for (idx_t i = 0; i < sendcounts[r]; ++i) {
-        send[sdispls[r] + i] = 100.0 * s + 10.0 * r + i;
+        send[sdispls[r] + i] = 100.0 * s + 10.0 * r + static_cast<double>(i);
       }
     }
     std::vector<double> recv(total_recv, -1);
     world.alltoallv(send.data(), sdispls, recv.data(), recvcounts, rdispls);
     for (int src = 0; src < p; ++src) {
       for (idx_t i = 0; i < recvcounts[src]; ++i) {
-        EXPECT_DOUBLE_EQ(recv[rdispls[src] + i], 100.0 * src + 10.0 * s + i);
+        EXPECT_DOUBLE_EQ(recv[rdispls[src] + i],
+                         100.0 * src + 10.0 * s + static_cast<double>(i));
       }
     }
   });

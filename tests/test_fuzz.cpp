@@ -102,7 +102,8 @@ TEST_P(FuzzSweep, DistTtmMatchesSerialOnRandomShapeAndGrid) {
     CounterRng rng(GetParam() + 2);
     for (int mode = 0; mode < x.ndims(); ++mode) {
       const idx_t r =
-          1 + static_cast<idx_t>(rng.uniform(mode) * (c.dims[mode] - 1));
+          1 + static_cast<idx_t>(rng.uniform(mode) *
+                                 static_cast<double>(c.dims[mode] - 1));
       auto u = testutil::random_matrix<double>(c.dims[mode], r,
                                                GetParam() + 3 + mode);
       auto got = dist_ttm(x, mode, u.cref()).allgather_full();

@@ -147,8 +147,10 @@ TEST(LlsvSubspace, GridInvariance) {
       auto xd = distribute(grid, x);
       auto u1 = llsv_subspace_iteration(xd, 0, u0);
       // Same subspace regardless of the grid (signs/pivots may differ only
-      // when columns tie; with random data the result is unique).
-      EXPECT_LT(subspace_distance(u1, reference), 1e-8);
+      // when columns tie; with random data the result is unique). The bound
+      // leaves headroom over 1e-8: sanitizer builds inhibit FP contraction
+      // enough to shift the distance by ~5e-9.
+      EXPECT_LT(subspace_distance(u1, reference), 5e-8);
     });
   }
 }

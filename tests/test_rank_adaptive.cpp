@@ -152,7 +152,8 @@ TEST(RankAdaptive, CompressionAtLeastMatchesSthosvdShape) {
     auto ra = rank_adaptive_hooi(xd, st.ranks(), opt);
     EXPECT_TRUE(ra.satisfied);
     EXPECT_LE(ra.compressed_size,
-              static_cast<la::idx_t>(1.25 * st.compressed_size()));
+              static_cast<la::idx_t>(
+                  1.25 * static_cast<double>(st.compressed_size())));
   });
 }
 

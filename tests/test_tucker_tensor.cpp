@@ -35,7 +35,7 @@ TEST(TuckerTensor, SizeAccounting) {
   EXPECT_EQ(t.full_size(), 960);
   EXPECT_EQ(t.compressed_size(), 3 * 4 * 2 + 10 * 3 + 12 * 4 + 8 * 2);
   EXPECT_DOUBLE_EQ(t.compression_ratio(),
-                   960.0 / t.compressed_size());
+                   960.0 / static_cast<double>(t.compressed_size()));
 }
 
 TEST(TuckerTensor, ReconstructMatchesNaiveMultiTtm) {

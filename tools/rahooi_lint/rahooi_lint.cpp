@@ -1,0 +1,605 @@
+// rahooi_lint — the project's custom static lint pass (see
+// docs/STATIC_ANALYSIS.md for the rule catalogue and how to add a rule).
+//
+// A deliberately small, dependency-free C++20 tool: it tokenizes the
+// project's sources (comments, string/char/raw-string literals, and
+// preprocessor lines handled; no preprocessing or name lookup) and enforces
+// project invariants that neither the compiler nor -Wall can see:
+//
+//   no-cout            std::cout/std::cerr/printf in library code (src/) —
+//                      rank-replicated library code must never write to the
+//                      process streams directly (use std::fprintf(stderr,..)
+//                      at designated runtime report sites, snprintf for
+//                      formatting).
+//   no-rand            rand()/srand() — all randomness must go through the
+//                      counter-based rahooi::rng so runs stay deterministic
+//                      and rank-reproducible.
+//   no-naked-new       naked new/delete expressions in library code
+//                      (operator-new allocator implementations and
+//                      `= delete` declarations are fine) — ownership goes
+//                      through containers and smart pointers.
+//   no-sleep           sleeping outside src/fault — delays belong to fault
+//                      injection only; anywhere else they hide real
+//                      schedule hazards.
+//   throw-taxonomy     every `throw` must use the rahooi error taxonomy
+//                      (comm/errors.hpp, common/contracts.hpp,
+//                      core/checkpoint.hpp, fault/fault.hpp) so Runtime::run
+//                      failure classification stays exhaustive.
+//   tracespan-discard  `prof::TraceSpan(...);` as a discarded temporary —
+//                      the span closes immediately and times nothing; bind
+//                      it to a named local.
+//   include-order      a .cpp with a same-stem sibling header must include
+//                      that header first (proves the header is
+//                      self-contained).
+//   collective-span    collectives invoked from src/core / src/dist must
+//                      run under a live prof::TraceSpan opened in an
+//                      enclosing scope, so watchdog park reports and
+//                      schedule-divergence reports always carry a span path.
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+//
+//   rahooi_lint --root <repo-root> <dir-or-file>...   lint mode
+//   rahooi_lint --self-test <fixture-dir>             fixture self-test
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class TokKind { ident, number, punct, eof };
+
+struct Token {
+  TokKind kind = TokKind::eof;
+  std::string text;
+  int line = 1;
+};
+
+struct FileSource {
+  std::vector<Token> tokens;
+  /// Ordered #include targets (quotes/brackets stripped) with line numbers.
+  std::vector<std::pair<std::string, int>> includes;
+};
+
+bool ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool ident_char(char c) { return ident_start(c) || (c >= '0' && c <= '9'); }
+
+/// Tokenizes C++ source: skips comments, string/char literals (including raw
+/// strings), and preprocessor lines (capturing #include targets). Only "::"
+/// is lexed as a multi-character punctuator — no rule needs more.
+FileSource tokenize(const std::string& src) {
+  FileSource out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;
+
+  const auto push = [&](TokKind kind, std::string text) {
+    out.tokens.push_back(Token{kind, std::move(text), line});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = i + 2 <= n ? i + 2 : n;
+      continue;
+    }
+    // Preprocessor line: capture #include target, then skip to end of line
+    // (honoring backslash continuations).
+    if (at_line_start && c == '#') {
+      std::size_t j = i + 1;
+      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+      if (src.compare(j, 7, "include") == 0) {
+        j += 7;
+        while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+        if (j < n && (src[j] == '"' || src[j] == '<')) {
+          const char close = src[j] == '"' ? '"' : '>';
+          const std::size_t start = j + 1;
+          std::size_t end = start;
+          while (end < n && src[end] != close && src[end] != '\n') ++end;
+          out.includes.emplace_back(src.substr(start, end - start), line);
+        }
+      }
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim += src[j++];
+      const std::string close = ")" + delim + "\"";
+      std::size_t end = src.find(close, j);
+      if (end == std::string::npos) end = n;
+      for (std::size_t k = i; k < std::min(end + close.size(), n); ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      i = std::min(end + close.size(), n);
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;  // unterminated; keep line count sane
+        ++i;
+      }
+      if (i < n) ++i;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      push(TokKind::ident, src.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (c >= '0' && c <= '9') {
+      std::size_t j = i;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        ++j;
+      }
+      push(TokKind::number, src.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      push(TokKind::punct, "::");
+      i += 2;
+      continue;
+    }
+    push(TokKind::punct, std::string(1, c));
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+struct Violation {
+  std::string file;  ///< path as reported to the user
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct FileScope {
+  std::string rel;        ///< root-relative path with '/' separators
+  bool library = false;   ///< under src/
+  bool fault = false;     ///< under src/fault/
+  bool span_zone = false; ///< under src/core/ or src/dist/
+  bool is_cpp = false;
+  fs::path real;          ///< on-disk path (sibling-header lookup)
+};
+
+const std::set<std::string>& taxonomy_types() {
+  static const std::set<std::string> kTypes{
+      "precondition_error", "numerical_error",  "checkpoint_error",
+      "AbortedError",       "TimeoutError",     "CommError",
+      "RankKilledError",    "ScheduleDivergenceError",
+  };
+  return kTypes;
+}
+
+const std::set<std::string>& collective_methods() {
+  static const std::set<std::string> kMethods{
+      "barrier",   "bcast",      "reduce_sum",         "allreduce_sum",
+      "allreduce_scalar", "reduce_scatter_sum", "allgather",
+      "allgatherv", "alltoallv", "split",
+  };
+  return kMethods;
+}
+
+/// Index of the first token of the qualified-id chain ending at `i`
+/// (e.g. for `prof :: TraceSpan` with i at TraceSpan, returns the index of
+/// `prof`; handles a leading global `::` too).
+std::size_t chain_start(const std::vector<Token>& t, std::size_t i) {
+  while (i >= 2 && t[i - 1].text == "::" && t[i - 2].kind == TokKind::ident) {
+    i -= 2;
+  }
+  if (i >= 1 && t[i - 1].text == "::") --i;
+  return i;
+}
+
+/// Index of the token after the `)` matching the `(` at `open` (or
+/// tokens.size() when unbalanced).
+std::size_t after_matching_paren(const std::vector<Token>& t,
+                                 std::size_t open) {
+  int depth = 0;
+  for (std::size_t j = open; j < t.size(); ++j) {
+    if (t[j].text == "(") ++depth;
+    if (t[j].text == ")" && --depth == 0) return j + 1;
+  }
+  return t.size();
+}
+
+void lint_tokens(const FileSource& f, const FileScope& scope,
+                 std::vector<Violation>& out) {
+  const std::vector<Token>& t = f.tokens;
+  const auto add = [&](int line, const char* rule, std::string msg) {
+    out.push_back(Violation{scope.rel, line, rule, std::move(msg)});
+  };
+
+  int depth = 0;                      // brace depth
+  std::vector<int> live_span_depths;  // depths of live TraceSpan locals
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Token& tok = t[i];
+    const auto prev_text = [&](std::size_t back) -> std::string_view {
+      return i >= back ? std::string_view(t[i - back].text)
+                       : std::string_view();
+    };
+    const auto next_text = [&](std::size_t fwd) -> std::string_view {
+      return i + fwd < t.size() ? std::string_view(t[i + fwd].text)
+                                : std::string_view();
+    };
+
+    if (tok.text == "{") ++depth;
+    if (tok.text == "}") {
+      --depth;
+      while (!live_span_depths.empty() && live_span_depths.back() > depth) {
+        live_span_depths.pop_back();
+      }
+    }
+
+    if (tok.kind != TokKind::ident) continue;
+
+    // -- no-cout ----------------------------------------------------------
+    if (scope.library &&
+        (tok.text == "cout" || tok.text == "cerr" || tok.text == "printf")) {
+      add(tok.line, "no-cout",
+          "library code must not write to process streams with " + tok.text +
+              " (use std::fprintf(stderr, ...) at designated report sites)");
+      continue;
+    }
+
+    // -- no-rand ----------------------------------------------------------
+    if (scope.library && (tok.text == "rand" || tok.text == "srand") &&
+        next_text(1) == "(") {
+      add(tok.line, "no-rand",
+          tok.text + "() breaks deterministic replay; use rahooi::rng");
+      continue;
+    }
+
+    // -- no-naked-new -----------------------------------------------------
+    if (scope.library && tok.text == "new" && prev_text(1) != "operator") {
+      add(tok.line, "no-naked-new",
+          "naked new expression; use containers or smart pointers");
+      continue;
+    }
+    if (scope.library && tok.text == "delete" && prev_text(1) != "operator" &&
+        prev_text(1) != "=") {
+      add(tok.line, "no-naked-new",
+          "naked delete expression; use containers or smart pointers");
+      continue;
+    }
+
+    // -- no-sleep ---------------------------------------------------------
+    if (scope.library && !scope.fault &&
+        (tok.text == "sleep" || tok.text == "usleep" ||
+         tok.text == "nanosleep" || tok.text == "sleep_for" ||
+         tok.text == "sleep_until" || tok.text == "sleep_ms")) {
+      add(tok.line, "no-sleep",
+          "sleeping outside src/fault hides real schedule hazards");
+      continue;
+    }
+
+    // -- throw-taxonomy ---------------------------------------------------
+    if (tok.text == "throw") {
+      if (next_text(1) == ";") continue;  // bare rethrow
+      // Walk the qualified-id after `throw`; the last identifier before the
+      // constructor call must be a taxonomy type.
+      std::size_t j = i + 1;
+      std::string last_ident;
+      while (j < t.size() &&
+             (t[j].kind == TokKind::ident || t[j].text == "::")) {
+        if (t[j].kind == TokKind::ident) last_ident = t[j].text;
+        ++j;
+      }
+      if (last_ident.empty() || taxonomy_types().count(last_ident) == 0) {
+        add(tok.line, "throw-taxonomy",
+            "throw site must use the rahooi error taxonomy "
+            "(comm/errors.hpp et al.), got: " +
+                (last_ident.empty() ? std::string("<expression>")
+                                    : last_ident));
+      }
+      continue;
+    }
+
+    // -- tracespan-discard + collective-span bookkeeping ------------------
+    if (tok.text == "TraceSpan") {
+      if (next_text(1) == "(") {
+        const std::size_t start = chain_start(t, i);
+        const std::string_view before =
+            start >= 1 ? std::string_view(t[start - 1].text)
+                       : std::string_view();
+        const bool stmt_position =
+            start == 0 || before == ";" || before == "{" || before == "}";
+        const std::size_t after = after_matching_paren(t, i + 1);
+        if (stmt_position && after < t.size() && t[after].text == ";") {
+          add(tok.line, "tracespan-discard",
+              "TraceSpan temporary is destroyed immediately; bind it to a "
+              "named local (prof::TraceSpan span(...))");
+          continue;
+        }
+      } else if (i + 1 < t.size() && t[i + 1].kind == TokKind::ident) {
+        // Declaration `TraceSpan name(...)` — a live span for this scope.
+        live_span_depths.push_back(depth);
+      }
+      continue;
+    }
+
+    // -- collective-span --------------------------------------------------
+    if (scope.span_zone && prev_text(1) == "." && next_text(1) == "(" &&
+        collective_methods().count(tok.text) != 0) {
+      if (live_span_depths.empty()) {
+        add(tok.line, "collective-span",
+            "collective " + tok.text +
+                "() invoked without a live prof::TraceSpan in an enclosing "
+                "scope; watchdog and schedule-divergence reports would have "
+                "no span path");
+      }
+      continue;
+    }
+  }
+}
+
+void lint_includes(const FileSource& f, const FileScope& scope,
+                   std::vector<Violation>& out) {
+  if (!scope.is_cpp) return;
+  const std::string stem = scope.real.stem().string();
+  const fs::path sibling = scope.real.parent_path() / (stem + ".hpp");
+  std::error_code ec;
+  if (!fs::exists(sibling, ec)) return;
+  const std::string expect = stem + ".hpp";
+  if (f.includes.empty()) {
+    out.push_back(Violation{scope.rel, 1, "include-order",
+                            "has sibling header " + expect +
+                                " but no includes; include it first"});
+    return;
+  }
+  const std::string first = fs::path(f.includes.front().first)
+                                .filename()
+                                .string();
+  if (first != expect) {
+    out.push_back(
+        Violation{scope.rel, f.includes.front().second, "include-order",
+                  "first include must be the file's own header " + expect +
+                      " (got \"" + f.includes.front().first + "\")"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+FileScope make_scope(const fs::path& real, const std::string& rel) {
+  FileScope scope;
+  scope.real = real;
+  scope.rel = rel;
+  scope.library = starts_with(rel, "src/");
+  scope.fault = starts_with(rel, "src/fault/");
+  scope.span_zone = starts_with(rel, "src/core/") ||
+                    starts_with(rel, "src/dist/");
+  scope.is_cpp = real.extension() == ".cpp";
+  return scope;
+}
+
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in.good()) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+int lint_file(const fs::path& real, const std::string& rel,
+              std::vector<Violation>& out) {
+  std::string src;
+  if (!read_file(real, src)) {
+    std::fprintf(stderr, "rahooi_lint: cannot read %s\n",
+                 real.string().c_str());
+    return 2;
+  }
+  const FileSource f = tokenize(src);
+  const FileScope scope = make_scope(real, rel);
+  lint_tokens(f, scope, out);
+  lint_includes(f, scope, out);
+  return 0;
+}
+
+void print_violations(const std::vector<Violation>& vs) {
+  for (const Violation& v : vs) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+}
+
+int run_lint(const fs::path& root, const std::vector<std::string>& paths) {
+  std::vector<fs::path> files;
+  for (const std::string& p : paths) {
+    fs::path full = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+    std::error_code ec;
+    if (fs::is_directory(full, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(full)) {
+        if (!entry.is_regular_file()) continue;
+        const fs::path ext = entry.path().extension();
+        if (ext == ".cpp" || ext == ".hpp") files.push_back(entry.path());
+      }
+    } else if (fs::exists(full, ec)) {
+      files.push_back(full);
+    } else {
+      std::fprintf(stderr, "rahooi_lint: no such path: %s\n",
+                   full.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Violation> violations;
+  for (const fs::path& file : files) {
+    std::error_code ec;
+    fs::path rel = fs::relative(file, root, ec);
+    const std::string rel_str =
+        ec ? file.generic_string() : rel.generic_string();
+    if (const int rc = lint_file(file, rel_str, violations); rc != 0) {
+      return rc;
+    }
+  }
+  print_violations(violations);
+  if (!violations.empty()) {
+    std::fprintf(stderr, "rahooi_lint: %zu violation(s) in %zu file(s)\n",
+                 violations.size(), files.size());
+    return 1;
+  }
+  std::printf("rahooi_lint: %zu files clean\n", files.size());
+  return 0;
+}
+
+/// Fixture self-test: every tests/lint_fixtures/bad_<rule>.cpp must produce
+/// exactly one violation of rule <rule> (underscores map to dashes); every
+/// clean*.cpp/hpp must lint clean. Fixtures are linted as if they lived at
+/// src/core/<name> — the strictest scope, where every rule is active.
+int run_self_test(const fs::path& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    std::fprintf(stderr, "rahooi_lint: no fixture dir: %s\n",
+                 dir.string().c_str());
+    return 2;
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path ext = entry.path().extension();
+    if (ext == ".cpp" || ext == ".hpp") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  int checked = 0;
+  int failures = 0;
+  for (const fs::path& file : files) {
+    const std::string name = file.filename().string();
+    const std::string stem = file.stem().string();
+    std::vector<Violation> vs;
+    const std::string rel = "src/core/" + name;
+    if (const int rc = lint_file(file, rel, vs); rc != 0) return rc;
+
+    if (starts_with(stem, "bad_") && file.extension() == ".cpp") {
+      std::string rule = stem.substr(4);
+      std::replace(rule.begin(), rule.end(), '_', '-');
+      ++checked;
+      if (vs.size() != 1 || vs.front().rule != rule) {
+        std::fprintf(stderr,
+                     "rahooi_lint self-test FAIL: %s expected exactly one "
+                     "[%s] violation, got %zu:\n",
+                     name.c_str(), rule.c_str(), vs.size());
+        print_violations(vs);
+        ++failures;
+      }
+    } else if (starts_with(stem, "clean")) {
+      ++checked;
+      if (!vs.empty()) {
+        std::fprintf(stderr,
+                     "rahooi_lint self-test FAIL: %s expected no violations, "
+                     "got %zu:\n",
+                     name.c_str(), vs.size());
+        print_violations(vs);
+        ++failures;
+      }
+    }
+  }
+  if (checked == 0) {
+    std::fprintf(stderr, "rahooi_lint self-test FAIL: no fixtures found\n");
+    return 1;
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "rahooi_lint self-test: %d of %d fixtures failed\n",
+                 failures, checked);
+    return 1;
+  }
+  std::printf("rahooi_lint self-test: %d fixtures OK\n", checked);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--self-test" && i + 1 < argc) {
+      return run_self_test(argv[++i]);
+    } else if (arg == "--help") {
+      std::printf(
+          "usage: rahooi_lint [--root DIR] <dir-or-file>...\n"
+          "       rahooi_lint --self-test <fixture-dir>\n");
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr,
+                 "usage: rahooi_lint [--root DIR] <dir-or-file>...\n"
+                 "       rahooi_lint --self-test <fixture-dir>\n");
+    return 2;
+  }
+  return run_lint(root, paths);
+}
