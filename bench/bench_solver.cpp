@@ -1,0 +1,83 @@
+// End-to-end solver benchmark: one P=4 rank-adaptive HOSI-DT solve of the
+// Miranda-like dataset, run with per-rank metrics Registries installed, and
+// emitted as a flat BENCH_solver.json snapshot. tools/bench_diff compares a
+// fresh emission against the committed repo-root baseline (bench-diff ctest
+// label, tests/CMakeLists.txt): every field except `seconds` is
+// deterministic under the scheduled simulated runtime, so convergence
+// regressions (more iterations, worse error, larger ranks), work
+// regressions (flop/byte counts), and telemetry regressions (missing
+// events or counters) all show up as a diff.
+//
+//   ./bench_solver [out.json]     (default BENCH_solver.json)
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+#include "data/science.hpp"
+
+using namespace rahooi;
+using namespace rahooi::bench;
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "BENCH_solver.json";
+  const int p = 4;
+  const idx_t n = 48;
+  const double eps = 0.05;
+
+  core::RankAdaptiveResult<double> ra;
+  const RunResult run = timed_run(
+      p,
+      [&](comm::Comm& world) {
+        auto grid =
+            std::make_shared<dist::ProcessorGrid>(world, std::vector<int>{1, 2, 2});
+        auto x = std::make_shared<dist::DistTensor<double>>(
+            data::miranda_like<double>(*grid, n));
+        return std::function<void()>([grid, x, &world, &ra, eps] {
+          core::RankAdaptiveOptions opt;
+          opt.tolerance = eps;
+          auto res = core::rank_adaptive_hooi(
+              *x, std::vector<idx_t>{4, 4, 4}, opt);
+          if (world.rank() == 0) ra = std::move(res);
+        });
+      },
+      /*profile=*/false, /*metrics=*/true);
+
+  const metrics::Registry& reg = run.registries.at(0);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_solver: cannot open %s for writing\n",
+                 path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"iterations\": %zu,\n", ra.iterations.size());
+  std::fprintf(f, "  \"satisfied\": %d,\n", ra.satisfied ? 1 : 0);
+  std::fprintf(f, "  \"rel_error\": %.12g,\n", ra.rel_error);
+  std::fprintf(f, "  \"compressed_size\": %lld,\n",
+               static_cast<long long>(ra.compressed_size));
+  for (std::size_t j = 0; j < ra.tucker.factors.size(); ++j) {
+    std::fprintf(f, "  \"rank_%zu\": %lld,\n", j,
+                 static_cast<long long>(ra.tucker.factors[j].cols()));
+  }
+  std::fprintf(f, "  \"flops\": %.12g,\n", run.stats.total_flops());
+  std::fprintf(f, "  \"comm_bytes\": %.12g,\n", run.stats.total_comm_bytes());
+  std::fprintf(f, "  \"solver_sweeps\": %llu,\n",
+               static_cast<unsigned long long>(
+                   reg.counter(metrics::Counter::solver_sweeps)));
+  std::fprintf(f, "  \"events\": %zu,\n", reg.events().size());
+  std::fprintf(f, "  \"fallbacks\": %llu,\n",
+               static_cast<unsigned long long>(ra.report.fallbacks));
+  std::fprintf(f, "  \"retries\": %llu,\n",
+               static_cast<unsigned long long>(ra.report.retries));
+  std::fprintf(f, "  \"seconds\": %.6f\n", run.seconds);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf(
+      "bench_solver: %d iterations, rel_error %.4g, ranks %s, "
+      "%zu events; report written to %s\n",
+      static_cast<int>(ra.iterations.size()), ra.rel_error,
+      dims_to_string(ra.tucker.ranks()).c_str(), reg.events().size(),
+      path.c_str());
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include "common/stopwatch.hpp"
 #include "core/hooi.hpp"
 #include "core/rank_adaptive.hpp"
+#include "metrics/metrics.hpp"
 #include "model/cost_model.hpp"
 #include "prof/report.hpp"
 
@@ -32,6 +33,10 @@ struct RunResult {
   /// Per-rank span traces of the timed region (empty unless the run was
   /// profiled). The breakdown benches read their phase columns from here.
   std::vector<prof::Recorder> traces;
+  /// Per-rank metrics registries of the timed region (empty unless the run
+  /// was metered). The fig 4/6/8 progression benches read the solver
+  /// telemetry event log from rank 0's registry (docs/OBSERVABILITY.md).
+  std::vector<metrics::Registry> registries;
 
   /// Seconds attributed to `ph` on rank 0, from the profiler trace when the
   /// run was profiled (aggregated span self-times; see
@@ -50,13 +55,16 @@ struct RunResult {
 /// returns the closure whose execution is timed between barriers. All ranks
 /// must run the identical SPMD region. With `profile` set, a prof::Recorder
 /// is installed on each rank around the timed closure only (setup is not
-/// traced) and the traces are returned in RunResult::traces.
+/// traced) and the traces are returned in RunResult::traces. With `metrics`
+/// set, a metrics::Registry is likewise installed around the timed closure
+/// and the per-rank registries are returned in RunResult::registries.
 inline RunResult timed_run(
     int p, const std::function<std::function<void()>(comm::Comm&)>& body,
-    bool profile = false) {
+    bool profile = false, bool metrics = false) {
   RunResult out;
   std::vector<Stats> per_rank;
   std::vector<prof::Recorder> traces(profile ? p : 0);
+  std::vector<rahooi::metrics::Registry> registries(metrics ? p : 0);
   comm::Runtime::run(
       p,
       [&](comm::Comm& world) {
@@ -67,6 +75,11 @@ inline RunResult timed_run(
           traces[world.rank()].set_rank(world.rank());
           rec.emplace(traces[world.rank()]);
         }
+        std::optional<rahooi::metrics::ScopedRegistry> reg;
+        if (metrics) {
+          registries[world.rank()].set_rank(world.rank());
+          reg.emplace(registries[world.rank()]);
+        }
         Stopwatch clock;
         work();
         world.barrier();
@@ -75,6 +88,7 @@ inline RunResult timed_run(
       &per_rank);
   out.stats = per_rank[0];
   out.traces = std::move(traces);
+  out.registries = std::move(registries);
   return out;
 }
 

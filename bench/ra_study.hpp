@@ -5,7 +5,10 @@
 // HOSI-DT from perfect / +25% overshot / -25% undershot starting ranks
 // (exactly the paper's protocol, §4.2), recording
 //   * the per-iteration progression of time, error, and relative size
-//     (the content of Figs. 4/6/8), and
+//     (the content of Figs. 4/6/8), read from the rahooi::metrics solver
+//     telemetry event log: every run executes with per-rank Registries
+//     installed and the progression rows are rank 0's "iteration"/"solve"
+//     events (docs/OBSERVABILITY.md documents the schema), and
 //   * the per-phase running-time breakdown (the content of Figs. 5/7/9),
 //     read from the rahooi::prof span profiler: every run executes with
 //     per-rank Recorders installed and the phase columns are rank 0's
@@ -33,6 +36,18 @@ inline std::vector<idx_t> scale_ranks(const std::vector<idx_t>& r,
         std::max<idx_t>(1, std::llround(factor * double(r[j]))));
   }
   return out;
+}
+
+/// Rank 0's last telemetry event of the given kind, from a metered
+/// timed_run. The progression tables are built from these instead of the
+/// in-memory result structs, so the event log is exercised end to end.
+inline const metrics::Event* last_event_of(const RunResult& res,
+                                           const std::string& kind) {
+  const metrics::Event* found = nullptr;
+  for (const auto& e : res.registries.at(0).events()) {
+    if (e.kind == kind) found = &e;
+  }
+  return found;
 }
 
 inline void breakdown_row(CsvTable& table, const std::string& dataset,
@@ -66,7 +81,7 @@ void run_ra_study(const std::string& dataset, int p,
             if (world.rank() == 0) st = std::move(res);
           });
         },
-        /*profile=*/true);
+        /*profile=*/true, /*metrics=*/true);
     // The core DistTensor in `st` refers to a dead grid; only scalar
     // summaries are used below.
     const double full_size = [&] {
@@ -75,6 +90,11 @@ void run_ra_study(const std::string& dataset, int p,
       return v;
     }();
 
+    // Progression row from the solver telemetry event (not the in-memory
+    // result): error, size, and ranks all come from the "solve" event.
+    const metrics::Event* st_ev = last_event_of(st_run, "solve");
+    RAHOOI_REQUIRE(st_ev != nullptr,
+                   "ra_study: STHOSVD run emitted no solve event");
     progress.begin_row();
     progress.add(dataset);
     progress.add(eps);
@@ -82,9 +102,9 @@ void run_ra_study(const std::string& dataset, int p,
     progress.add(0);  // iteration
     progress.add(st_run.seconds);
     progress.add(st_run.seconds);
-    progress.add(st.relative_error());
-    progress.add(double(st.compressed_size()) / full_size);
-    progress.add(dims_to_string(st.ranks()));
+    progress.add(st_ev->rel_error);
+    progress.add(double(st_ev->compressed_size) / full_size);
+    progress.add(dims_to_string(st_ev->ranks_after));
     breakdown_row(breakdown, dataset, eps, "STHOSVD", st_run);
 
     const std::vector<idx_t> perfect = st.ranks();
@@ -112,22 +132,29 @@ void run_ra_study(const std::string& dataset, int p,
                   if (world.rank() == 0) ra = std::move(res);
                 });
           },
-          /*profile=*/true);
+          /*profile=*/true, /*metrics=*/true);
       const std::string label = std::string("HOSI-DT (") + s.label + ")";
+      // Per-iteration progression from rank 0's "iteration" events — the
+      // superset of RaIterationRecord logged by rank_adaptive_hooi().
       double cumulative = 0.0;
-      for (const auto& it : ra.iterations) {
-        cumulative += it.seconds + it.core_analysis_seconds;
+      bool any_iteration = false;
+      for (const auto& ev : ra_run.registries.at(0).events()) {
+        if (ev.kind != "iteration") continue;
+        any_iteration = true;
+        cumulative += ev.seconds + ev.core_analysis_seconds;
         progress.begin_row();
         progress.add(dataset);
         progress.add(eps);
         progress.add(label);
-        progress.add(it.index);
-        progress.add(it.seconds + it.core_analysis_seconds);
+        progress.add(ev.sweep);
+        progress.add(ev.seconds + ev.core_analysis_seconds);
         progress.add(cumulative);
-        progress.add(it.rel_error_after);
-        progress.add(double(it.compressed_size) / full_size);
-        progress.add(dims_to_string(it.ranks_after));
+        progress.add(ev.rel_error_after);
+        progress.add(double(ev.compressed_size) / full_size);
+        progress.add(dims_to_string(ev.ranks_after));
       }
+      RAHOOI_REQUIRE(any_iteration,
+                     "ra_study: RA run emitted no iteration events");
       breakdown_row(breakdown, dataset, eps, label, ra_run);
     }
   }

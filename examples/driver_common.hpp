@@ -16,6 +16,7 @@
 #include "data/synthetic.hpp"
 #include "io/param_file.hpp"
 #include "io/tensor_io.hpp"
+#include "metrics/report.hpp"
 
 namespace rahooi::examples {
 
@@ -36,6 +37,34 @@ inline bool has_flag(int argc, char** argv, const std::string& name) {
     if (name == argv[i]) return true;
   }
   return false;
+}
+
+/// Value of a `--name <value>` argument, or `fallback` when absent.
+inline std::string arg_value(int argc, char** argv, const std::string& name,
+                             const std::string& fallback = "") {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (name == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// The `--metrics-out` exports shared by the param-file drivers: the flat
+/// aggregated `name{labels,stat} -> value` JSON at `path`, rank 0's JSONL
+/// solver-telemetry event stream at the sibling path (events_path_for),
+/// and a terminal summary of the top metrics (docs/OBSERVABILITY.md).
+inline void write_metrics_outputs(
+    const std::string& path, const std::vector<metrics::Registry>& regs) {
+  metrics::write_metrics_json(path, regs);
+  const std::string events_path = metrics::events_path_for(path);
+  metrics::write_events_jsonl(events_path, regs.at(0));
+  std::printf(
+      "metrics: %zu rank registries; flat JSON written to %s, event log "
+      "(%zu events) to %s\n",
+      regs.size(), path.c_str(), regs.at(0).events().size(),
+      events_path.c_str());
+  std::printf(
+      "top metrics by per-rank max:\n%s\n",
+      metrics::aggregate_pretty(metrics::aggregate(regs), 12).c_str());
 }
 
 template <typename T>

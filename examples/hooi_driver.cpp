@@ -11,10 +11,16 @@
 // driver (paper Alg. 3) with that epsilon; 0 runs fixed-rank HOOI.
 //
 //   ./hooi_driver --parameter-file HOOI.cfg [--profile] [--restore]
+//               [--metrics-out <metrics.json>]
 //
 // --profile records a per-rank hierarchical span trace of the run and
 // writes it as Chrome trace_event JSON ("Trace file" key, default
 // trace.json); see docs/PROFILING.md.
+//
+// --metrics-out (or a "Metrics file" key) enables the metrics layer:
+// per-rank counters/histograms/peak-memory gauges aggregated into a flat
+// JSON file, plus a JSONL solver-telemetry event log at the sibling
+// path — see docs/OBSERVABILITY.md.
 //
 // --restore resumes a fixed-rank solve from the "Checkpoint file" written
 // by a previous (interrupted) run; "Collective timeout ms" arms the hang
@@ -49,7 +55,8 @@ using namespace rahooi;
 namespace {
 
 template <typename T>
-int run(const io::ParamFile& params, bool profile, bool restore) {
+int run(const io::ParamFile& params, bool profile, bool restore,
+        const std::string& metrics_out) {
   const auto dims = params.get_dims("Global dims");
   auto construction = params.get_dims("Construction Ranks");
   auto decomposition = params.get_dims("Decomposition Ranks");
@@ -68,6 +75,7 @@ int run(const io::ParamFile& params, bool profile, bool restore) {
   hooi_opts.max_iters = static_cast<int>(params.get_int("HOOI max iters", 2));
   hooi_opts.seed = static_cast<std::uint64_t>(params.get_int("Seed", 1));
   hooi_opts.profile = profile;
+  hooi_opts.metrics = !metrics_out.empty();
   // Fault-tolerance knobs (docs/ROBUSTNESS.md): hang watchdog deadline and
   // per-sweep checkpointing. `--restore` resumes from "Checkpoint file".
   hooi_opts.collective_timeout_ms =
@@ -104,6 +112,9 @@ int run(const io::ParamFile& params, bool profile, bool restore) {
 
   std::vector<Stats> per_rank;
   std::vector<prof::Recorder> traces;
+  std::vector<metrics::Registry> rank_metrics;
+  comm::RunOptions run_opts;
+  if (!metrics_out.empty()) run_opts.rank_metrics = &rank_metrics;
   comm::Runtime::run(
       p,
       [&](comm::Comm& world) {
@@ -173,8 +184,11 @@ int run(const io::ParamFile& params, bool profile, bool restore) {
           }
         }
       },
-      &per_rank, profile ? &traces : nullptr);
+      &per_rank, profile ? &traces : nullptr, run_opts);
   if (timings) examples::print_timing_breakdown(per_rank[0]);
+  if (!metrics_out.empty()) {
+    examples::write_metrics_outputs(metrics_out, rank_metrics);
+  }
   if (profile) {
     const std::string trace_path =
         params.get_string("Trace file", "trace.json");
@@ -206,9 +220,14 @@ int main(int argc, char** argv) {
     // `--restore` resumes a checkpointed fixed-rank solve from the
     // "Checkpoint file" path (see docs/ROBUSTNESS.md).
     const bool restore = examples::has_flag(argc, argv, "--restore");
+    // `--metrics-out <file.json>` (or "Metrics file" in the parameter file)
+    // enables the metrics layer and writes the aggregated flat JSON plus
+    // the JSONL event log (see docs/OBSERVABILITY.md).
+    const std::string metrics_out = examples::arg_value(
+        argc, argv, "--metrics-out", params.get_string("Metrics file", ""));
     return params.get_bool("Single precision", true)
-               ? run<float>(params, profile, restore)
-               : run<double>(params, profile, restore);
+               ? run<float>(params, profile, restore, metrics_out)
+               : run<double>(params, profile, restore, metrics_out);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

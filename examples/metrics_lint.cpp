@@ -1,0 +1,80 @@
+// Validates the `--metrics-out` exports of the param-file drivers: the flat
+// `name{labels,stat} -> value` metrics JSON must be syntactically valid and
+// carry the required/nonzero keys, and the sibling JSONL event log must
+// follow the fixed solver-telemetry schema with sequential sweep indices
+// (metrics::validate_metrics_json / validate_events_jsonl,
+// docs/OBSERVABILITY.md). Exit code 0 on success, 1 on a validation
+// failure, 2 on usage/IO errors — the metrics-smoke ctest fixture chains
+// this after `hooi_driver --metrics-out` (see tests/CMakeLists.txt).
+//
+//   ./metrics_lint <metrics.json> <events.jsonl>
+//                  [--require <key>]... [--nonzero <key>]...
+//
+// Keys are given in raw (unescaped) form, e.g.
+//   --nonzero 'mem.peak_bytes{scope="dt_memo",stat="max"}'
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/report.hpp"
+
+namespace {
+
+bool slurp(const char* path, std::string* out) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: metrics_lint <metrics.json> <events.jsonl> "
+                 "[--require <key>]... [--nonzero <key>]...\n");
+    return 2;
+  }
+  std::vector<std::string> required, nonzero;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require" && i + 1 < argc) {
+      required.push_back(argv[++i]);
+    } else if (arg == "--nonzero" && i + 1 < argc) {
+      nonzero.push_back(argv[++i]);
+    } else {
+      std::fprintf(stderr, "metrics_lint: unknown argument %s\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  std::string metrics, events;
+  if (!slurp(argv[1], &metrics)) {
+    std::fprintf(stderr, "metrics_lint: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  if (!slurp(argv[2], &events)) {
+    std::fprintf(stderr, "metrics_lint: cannot open %s\n", argv[2]);
+    return 2;
+  }
+  std::string error;
+  if (!rahooi::metrics::validate_metrics_json(metrics, required, nonzero,
+                                              &error)) {
+    std::fprintf(stderr, "metrics_lint: %s: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+  if (!rahooi::metrics::validate_events_jsonl(events, &error)) {
+    std::fprintf(stderr, "metrics_lint: %s: %s\n", argv[2], error.c_str());
+    return 1;
+  }
+  std::printf(
+      "metrics_lint: %s and %s OK (%zu required, %zu nonzero keys)\n",
+      argv[1], argv[2], required.size(), nonzero.size());
+  return 0;
+}

@@ -2,6 +2,11 @@
 // settings come from a TuckerMPI-style parameter file.
 //
 //   ./sthosvd_driver --parameter-file STHOSVD.cfg
+//                    [--metrics-out <metrics.json>]
+//
+// --metrics-out (or a "Metrics file" key) enables the metrics layer and
+// writes the aggregated flat metrics JSON plus the JSONL solver-telemetry
+// event log (one "solve" event) — see docs/OBSERVABILITY.md.
 //
 // Example configuration (artifact appendix B.1):
 //   Print options = true
@@ -26,7 +31,7 @@ using namespace rahooi;
 namespace {
 
 template <typename T>
-int run(const io::ParamFile& params) {
+int run(const io::ParamFile& params, const std::string& metrics_out) {
   const auto dims = params.get_dims("Global dims");
   const auto ranks = params.get_dims("Ranks");
   const auto gdims = params.get_ints("Processor grid dims");
@@ -41,6 +46,9 @@ int run(const io::ParamFile& params) {
   for (const int g : gdims) p *= g;
 
   std::vector<Stats> per_rank;
+  std::vector<metrics::Registry> rank_metrics;
+  comm::RunOptions run_opts;
+  if (!metrics_out.empty()) run_opts.rank_metrics = &rank_metrics;
   comm::Runtime::run(
       p,
       [&](comm::Comm& world) {
@@ -64,8 +72,11 @@ int run(const io::ParamFile& params) {
           }
         }
       },
-      &per_rank);
+      &per_rank, nullptr, run_opts);
   if (timings) examples::print_timing_breakdown(per_rank[0]);
+  if (!metrics_out.empty()) {
+    examples::write_metrics_outputs(metrics_out, rank_metrics);
+  }
   return 0;
 }
 
@@ -79,9 +90,11 @@ int main(int argc, char** argv) {
     }
     RAHOOI_REQUIRE(params.get_bool("Perform STHOSVD", true),
                    "'Perform STHOSVD' is false; nothing to do");
+    const std::string metrics_out = examples::arg_value(
+        argc, argv, "--metrics-out", params.get_string("Metrics file", ""));
     return params.get_bool("Single precision", true)
-               ? run<float>(params)
-               : run<double>(params);
+               ? run<float>(params, metrics_out)
+               : run<double>(params, metrics_out);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

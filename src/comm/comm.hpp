@@ -37,6 +37,7 @@
 #include "common/contracts.hpp"
 #include "common/stats.hpp"
 #include "fault/fault.hpp"
+#include "metrics/metrics.hpp"
 #include "prof/trace.hpp"
 
 namespace rahooi::comm {
@@ -73,6 +74,7 @@ class Comm {
   void bcast(T* data, idx_t n, int root) const {
     prof::TraceSpan span("bcast");
     CollectiveGuard guard(ctx_.get(), rank_, "bcast");
+    metrics::CollectiveTimer mtimer;
     RAHOOI_REQUIRE(root >= 0 && root < size(), "bcast: bad root");
     if (size() == 1) return;
     ctx_->schedule_check(
@@ -87,6 +89,7 @@ class Comm {
     ctx_->barrier_wait(Context::BarrierPhase::exit);
     fault::inject_payload("bcast", guard.world_rank(), data, sizeof(T) * n);
     stats::add_comm(CollectiveKind::bcast, bytes_of<T>(n));
+    mtimer.record(CollectiveKind::bcast, bytes_of<T>(n));
   }
 
   /// Element-wise sum of all ranks' `in` arrays lands in `out` on root.
@@ -94,6 +97,7 @@ class Comm {
   void reduce_sum(const T* in, T* out, idx_t n, int root) const {
     prof::TraceSpan span("reduce");
     CollectiveGuard guard(ctx_.get(), rank_, "reduce");
+    metrics::CollectiveTimer mtimer;
     RAHOOI_REQUIRE(root >= 0 && root < size(), "reduce: bad root");
     if (size() == 1) {
       if (out != in) std::copy(in, in + n, out);
@@ -114,6 +118,7 @@ class Comm {
     }
     ctx_->barrier_wait(Context::BarrierPhase::exit);
     stats::add_comm(CollectiveKind::reduce, bytes_of<T>(n));
+    mtimer.record(CollectiveKind::reduce, bytes_of<T>(n));
   }
 
   /// In-place element-wise sum across all ranks; every rank gets the total.
@@ -128,6 +133,7 @@ class Comm {
   void allreduce_sum(T* data, idx_t n) const {
     prof::TraceSpan span("allreduce");
     CollectiveGuard guard(ctx_.get(), rank_, "allreduce");
+    metrics::CollectiveTimer mtimer;
     if (size() == 1) return;
     ctx_->schedule_check(
         rank_, SchedFingerprint{SchedOp::allreduce, sched_dtype_tag<T>(), -1,
@@ -148,6 +154,8 @@ class Comm {
     // Rabenseifner: reduce-scatter + allgather, 2n(P-1)/P per rank.
     stats::add_comm(CollectiveKind::allreduce,
                     2.0 * bytes_of<T>(n) * (size() - 1) / size());
+    mtimer.record(CollectiveKind::allreduce,
+                  2.0 * bytes_of<T>(n) * (size() - 1) / size());
   }
 
   /// Convenience scalar allreduce.
@@ -164,6 +172,7 @@ class Comm {
                           const std::vector<idx_t>& counts) const {
     prof::TraceSpan span("reduce_scatter");
     CollectiveGuard guard(ctx_.get(), rank_, "reduce_scatter");
+    metrics::CollectiveTimer mtimer;
     RAHOOI_REQUIRE(static_cast<int>(counts.size()) == size(),
                    "reduce_scatter: counts size != communicator size");
     const idx_t total = std::accumulate(counts.begin(), counts.end(),
@@ -192,6 +201,8 @@ class Comm {
     // Recursive halving: n(P-1)/P per rank on the full input length.
     stats::add_comm(CollectiveKind::reduce_scatter,
                     bytes_of<T>(total) * (size() - 1) / size());
+    mtimer.record(CollectiveKind::reduce_scatter,
+                  bytes_of<T>(total) * (size() - 1) / size());
   }
 
   /// Concatenates all ranks' `in` arrays (rank r contributes counts[r]
@@ -201,6 +212,7 @@ class Comm {
   void allgatherv(const T* in, T* out, const std::vector<idx_t>& counts) const {
     prof::TraceSpan span("allgatherv");
     CollectiveGuard guard(ctx_.get(), rank_, "allgather");
+    metrics::CollectiveTimer mtimer;
     RAHOOI_REQUIRE(static_cast<int>(counts.size()) == size(),
                    "allgatherv: counts size != communicator size");
     if (size() == 1) {
@@ -228,6 +240,7 @@ class Comm {
     ctx_->barrier_wait(Context::BarrierPhase::exit);
     // Ring: each rank receives everyone else's contribution.
     stats::add_comm(CollectiveKind::allgather, bytes_of<T>(received));
+    mtimer.record(CollectiveKind::allgather, bytes_of<T>(received));
   }
 
   /// Equal-count allgather convenience: every rank contributes n elements.
@@ -245,6 +258,7 @@ class Comm {
                  const std::vector<idx_t>& rdispls) const {
     prof::TraceSpan span("alltoallv");
     CollectiveGuard guard(ctx_.get(), rank_, "alltoall");
+    metrics::CollectiveTimer mtimer;
     RAHOOI_REQUIRE(static_cast<int>(sdispls.size()) == size() &&
                        static_cast<int>(recvcounts.size()) == size() &&
                        static_cast<int>(rdispls.size()) == size(),
@@ -265,6 +279,7 @@ class Comm {
     }
     ctx_->barrier_wait(Context::BarrierPhase::exit);
     stats::add_comm(CollectiveKind::alltoall, off_rank_bytes);
+    mtimer.record(CollectiveKind::alltoall, off_rank_bytes);
   }
 
   /// Blocking tagged point-to-point.
@@ -272,8 +287,10 @@ class Comm {
   void send(const T* data, idx_t n, int dest, int tag) const {
     prof::TraceSpan span("send");
     CollectiveGuard guard(ctx_.get(), rank_, "send");
+    metrics::CollectiveTimer mtimer;
     ctx_->send_bytes(dest, rank_, tag, data, sizeof(T) * n);
     stats::add_comm(CollectiveKind::point_to_point, bytes_of<T>(n));
+    mtimer.record(CollectiveKind::point_to_point, bytes_of<T>(n));
   }
 
   template <typename T>

@@ -83,6 +83,8 @@ void Runtime::run(int p, const std::function<void(Comm&)>& fn,
 
   std::vector<Stats> stats_store(p);
   std::vector<prof::Recorder> trace_store(rank_traces != nullptr ? p : 0);
+  std::vector<metrics::Registry> metrics_store(
+      options.rank_metrics != nullptr ? p : 0);
   std::vector<std::exception_ptr> errors(p);
   std::vector<std::thread> threads;
   threads.reserve(p);
@@ -95,6 +97,11 @@ void Runtime::run(int p, const std::function<void(Comm&)>& fn,
       if (rank_traces != nullptr) {
         trace_store[r].set_rank(r);
         traced.emplace(trace_store[r]);
+      }
+      std::optional<metrics::ScopedRegistry> metered;
+      if (options.rank_metrics != nullptr) {
+        metrics_store[r].set_rank(r);
+        metered.emplace(metrics_store[r]);
       }
       Comm world(ctx, r);
       try {
@@ -116,6 +123,9 @@ void Runtime::run(int p, const std::function<void(Comm&)>& fn,
 
   if (rank_stats != nullptr) *rank_stats = std::move(stats_store);
   if (rank_traces != nullptr) *rank_traces = std::move(trace_store);
+  if (options.rank_metrics != nullptr) {
+    *options.rank_metrics = std::move(metrics_store);
+  }
 
   // Classify failures and pick the root cause: prefer a genuine error over
   // a watchdog TimeoutError over secondary AbortedErrors (which only say

@@ -31,6 +31,13 @@ struct RunOptions {
   /// was configured with -DRAHOOI_COMM_CHECK=ON, else OFF). 0 disables
   /// explicitly; > 0 enables.
   int comm_check = -1;
+
+  /// When non-null, enables the metrics layer (docs/OBSERVABILITY.md):
+  /// each rank thread gets a metrics::Registry installed (rank-labelled)
+  /// and the vector receives the per-rank registries after the join —
+  /// the `hooi_driver --metrics-out` entry point. Null (default) keeps
+  /// metrics off: every instrument site then costs one thread-local load.
+  std::vector<metrics::Registry>* rank_metrics = nullptr;
 };
 
 class Runtime {

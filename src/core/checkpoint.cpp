@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "metrics/metrics.hpp"
+
 namespace rahooi::core {
 
 namespace {
@@ -140,6 +142,11 @@ void save_checkpoint(const std::string& path, const SweepCheckpoint<T>& ck) {
     throw checkpoint_error("checkpoint: one factor per mode required");
   }
   const std::vector<char> payload = serialize(ck);
+  const metrics::ScopedBytes payload_bytes(
+      metrics::MemScope::checkpoint, static_cast<double>(payload.size()));
+  if (metrics::Registry* reg = metrics::registry()) {
+    reg->count(metrics::Counter::checkpoint_writes);
+  }
   const std::uint64_t checksum = fnv1a64(payload);
 
   const std::string tmp = path + ".tmp";

@@ -8,6 +8,8 @@
 #include "core/checkpoint.hpp"
 #include "core/dimension_tree.hpp"
 #include "fault/fault.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/report.hpp"
 #include "prof/trace.hpp"
 
 namespace rahooi::core {
@@ -35,6 +37,16 @@ std::vector<la::Matrix<T>> random_factors(const std::vector<idx_t>& dims,
 }
 
 namespace {
+
+// Counts one fallback decision in both ledgers — the SolveReport and the
+// metrics counter — at the same site, so SolveReport::fallbacks and
+// Counter::solver_fallbacks agree exactly over a solve.
+void count_fallback(SolveReport* report) {
+  ++report->fallbacks;
+  if (metrics::Registry* reg = metrics::registry()) {
+    reg->count(metrics::Counter::solver_fallbacks);
+  }
+}
 
 // Runs the configured LLSV method for one mode and returns the new factor.
 // `sweep_index` seeds the fresh sketches of the randomized method so they
@@ -107,6 +119,7 @@ void leaf_update(const dist::DistTensor<T>& y, int mode,
   if (!ok && options.svd_method != SvdMethod::gram_evd) {
     // Second chance: Gram+EVD tolerates a wider range of inputs than the
     // QRCP subspace path (it never divides by a pivot).
+    count_fallback(report);
     try {
       updated = llsv_gram(y, mode, ranks[mode]).u;
       ok = la::all_finite(updated);
@@ -125,6 +138,7 @@ void leaf_update(const dist::DistTensor<T>& y, int mode,
   // Last resort: keep the previous factor (clamped to the requested rank).
   // It is orthonormal and finite, so the sweep stays well-posed; accuracy
   // for this mode simply does not improve this sweep.
+  count_fallback(report);
   const idx_t keep = std::min<idx_t>(factors[mode].cols(), ranks[mode]);
   factors[mode] = factors[mode].leading_block(factors[mode].rows(), keep);
   report->record(sweep_index, mode, "kept_previous_factor",
@@ -192,6 +206,10 @@ void sweep_tree_recurse(const dist::DistTensor<T>& node,
     dist::DistTensor<T> a;
     {
       prof::TraceSpan t("tree_ttm", Phase::ttm);
+      // Chain nodes *are* the dimension-tree memo cache: charge their local
+      // blocks to dt_memo so the memo footprint is a gauge of its own (the
+      // leaves' LLSV allocations below stay under dist_tensor).
+      const metrics::MemScopeGuard memo_scope(metrics::MemScope::dt_memo);
       const dist::DistTensor<T>* src = &node;
       for (auto it = eta.rbegin(); it != eta.rend(); ++it) {
         a = dist::dist_ttm(*src, *it, factors[*it].cref());
@@ -207,6 +225,7 @@ void sweep_tree_recurse(const dist::DistTensor<T>& node,
     dist::DistTensor<T> b;
     {
       prof::TraceSpan t("tree_ttm", Phase::ttm);
+      const metrics::MemScopeGuard memo_scope(metrics::MemScope::dt_memo);
       const dist::DistTensor<T>* src = &node;
       for (const int i : mu) {
         b = dist::dist_ttm(*src, i, factors[i].cref());
@@ -284,6 +303,14 @@ HooiResult<T> hooi(const dist::DistTensor<T>& x,
     out.trace = std::make_shared<prof::Recorder>(x.grid().world().rank());
     installed.emplace(*out.trace);
   }
+  std::optional<metrics::ScopedRegistry> metered;
+  if (options.metrics && metrics::registry() == nullptr) {
+    out.metrics = std::make_shared<metrics::Registry>(x.grid().world().rank());
+    metered.emplace(*out.metrics);
+  }
+  metrics::Registry* const mreg = metrics::registry();
+  const std::uint64_t retries0 =
+      mreg != nullptr ? mreg->counter(metrics::Counter::fault_retries) : 0;
   // Root span tagged Phase::other: every second of the run lands in some
   // phase bucket, so the per-phase breakdown sums to this span's wall time.
   prof::TraceSpan root("hooi", Phase::other);
@@ -321,6 +348,17 @@ HooiResult<T> hooi(const dist::DistTensor<T>& x,
     // Solver-level fault site: "kill:sweep@R#N" in a fault plan kills rank
     // R at the start of its Nth sweep (the checkpoint/restart ctest hook).
     fault::inject_point("sweep", fault_rank_of(x));
+    // Pre-sweep baselines for the telemetry event's deltas.
+    const Stats* const st = stats::current();
+    const double flops0 =
+        (mreg != nullptr && st != nullptr) ? st->total_flops() : 0.0;
+    const double bytes0 =
+        (mreg != nullptr && st != nullptr) ? st->total_comm_bytes() : 0.0;
+    const std::uint64_t sweep_retries0 =
+        mreg != nullptr ? mreg->counter(metrics::Counter::fault_retries) : 0;
+    const std::uint64_t sweep_fallbacks0 = out.report.fallbacks;
+    const double t0 = mreg != nullptr ? stats::now() : 0.0;
+
     out.decomposition.core = hooi_sweep(x, out.decomposition.factors, ranks,
                                         options, iter, &out.report);
     out.decomposition.core_norm_sq = out.decomposition.core.norm_squared();
@@ -340,11 +378,38 @@ HooiResult<T> hooi(const dist::DistTensor<T>& x,
       save_checkpoint(options.checkpoint_path, ck);
     }
 
+    if (mreg != nullptr) {
+      mreg->count(metrics::Counter::solver_sweeps);
+      metrics::Event ev;
+      ev.solver = "hooi";
+      ev.kind = "sweep";
+      ev.sweep = iter + 1;
+      ev.ranks.assign(ranks.begin(), ranks.end());
+      ev.rel_error = err;
+      ev.seconds = stats::now() - t0;
+      if (st != nullptr) {
+        ev.flops = st->total_flops() - flops0;
+        ev.comm_bytes = st->total_comm_bytes() - bytes0;
+      }
+      ev.compressed_size = out.decomposition.compressed_size();
+      ev.retries =
+          mreg->counter(metrics::Counter::fault_retries) - sweep_retries0;
+      ev.fallbacks = out.report.fallbacks - sweep_fallbacks0;
+      ev.llsv_fallback = ev.fallbacks > 0;
+      ev.detail = variant_name(options);
+      mreg->add_event(ev);
+    }
+
     if (options.convergence_tol > 0.0 &&
         prev_error - err < options.convergence_tol) {
       break;
     }
     prev_error = err;
+  }
+  if (mreg != nullptr) {
+    out.report.retries =
+        mreg->counter(metrics::Counter::fault_retries) - retries0;
+    out.report.metrics_snapshot = metrics::snapshot(*mreg);
   }
   return out;
 }

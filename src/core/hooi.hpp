@@ -27,6 +27,12 @@ struct HooiResult {
   /// to install its own Recorder (null when profiling was off or a Recorder
   /// was already installed, e.g. by comm::Runtime::run's rank_traces).
   std::shared_ptr<prof::Recorder> trace;
+  /// This rank's metrics registry, present when HooiOptions::metrics asked
+  /// hooi() to install its own Registry (null when metrics were off or a
+  /// Registry was already installed, e.g. by comm::Runtime::run's
+  /// rank_metrics). Holds the counters, histograms, memory gauges, and the
+  /// per-sweep event log of the solve.
+  std::shared_ptr<metrics::Registry> metrics;
 };
 
 /// Random orthonormal factor matrices (dims[j] x ranks[j]), generated

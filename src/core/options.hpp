@@ -60,6 +60,15 @@ struct HooiOptions {
   /// installed a span is one thread-local load and a branch, so the
   /// instrumented hot paths run at full speed (see docs/PROFILING.md).
   bool profile = false;
+  /// Record counters/histograms/peak-memory gauges and a structured
+  /// solver-telemetry event log (metrics/metrics.hpp). When set and no
+  /// metrics::Registry is already installed on the calling thread, hooi()
+  /// and rank_adaptive_hooi() install one and hand it back in their
+  /// result's `metrics` field; a final snapshot is embedded in the
+  /// SolveReport either way. Off by default: with no registry installed
+  /// each instrumented site costs one thread-local load and a branch
+  /// (see docs/OBSERVABILITY.md and bench_metrics_guard).
+  bool metrics = false;
 };
 
 /// How ranks evolve when the error threshold is not yet met.

@@ -7,6 +7,8 @@
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "fault/fault.hpp"
+#include "metrics/metrics.hpp"
+#include "metrics/report.hpp"
 #include "prof/trace.hpp"
 
 namespace rahooi::core {
@@ -137,6 +139,14 @@ RankAdaptiveResult<T> rank_adaptive_hooi(
     out.trace = std::make_shared<prof::Recorder>(x.grid().world().rank());
     installed.emplace(*out.trace);
   }
+  std::optional<metrics::ScopedRegistry> metered;
+  if (options.hooi.metrics && metrics::registry() == nullptr) {
+    out.metrics = std::make_shared<metrics::Registry>(x.grid().world().rank());
+    metered.emplace(*out.metrics);
+  }
+  metrics::Registry* const mreg = metrics::registry();
+  const std::uint64_t retries0 =
+      mreg != nullptr ? mreg->counter(metrics::Counter::fault_retries) : 0;
   // Root span tagged Phase::other: the per-phase breakdown sums to the
   // whole run's wall time (see prof/trace.hpp).
   prof::TraceSpan root("ra", Phase::other);
@@ -157,6 +167,43 @@ RankAdaptiveResult<T> rank_adaptive_hooi(
     RaIterationRecord rec;
     rec.index = iter;
     rec.sweep_ranks = ranks;
+
+    // Pre-iteration baselines for the telemetry event's deltas, and the
+    // emitter both exit paths share. The event is a superset of `rec`: the
+    // fig4/6/8 progression benches read their trajectories from the log.
+    const Stats* const st = stats::current();
+    const double flops0 =
+        (mreg != nullptr && st != nullptr) ? st->total_flops() : 0.0;
+    const double bytes0 =
+        (mreg != nullptr && st != nullptr) ? st->total_comm_bytes() : 0.0;
+    const std::uint64_t it_retries0 =
+        mreg != nullptr ? mreg->counter(metrics::Counter::fault_retries) : 0;
+    const std::uint64_t it_fallbacks0 = out.report.fallbacks;
+    const auto emit_iteration = [&](const RaIterationRecord& r) {
+      if (mreg == nullptr) return;
+      mreg->count(metrics::Counter::solver_sweeps);
+      metrics::Event ev;
+      ev.solver = "ra";
+      ev.kind = "iteration";
+      ev.sweep = r.index;
+      ev.ranks.assign(r.sweep_ranks.begin(), r.sweep_ranks.end());
+      ev.ranks_after.assign(r.ranks_after.begin(), r.ranks_after.end());
+      ev.rel_error = r.rel_error;
+      ev.rel_error_after = r.rel_error_after;
+      ev.seconds = r.seconds;
+      ev.core_analysis_seconds = r.core_analysis_seconds;
+      if (st != nullptr) {
+        ev.flops = st->total_flops() - flops0;
+        ev.comm_bytes = st->total_comm_bytes() - bytes0;
+      }
+      ev.compressed_size = r.compressed_size;
+      ev.retries =
+          mreg->counter(metrics::Counter::fault_retries) - it_retries0;
+      ev.fallbacks = out.report.fallbacks - it_fallbacks0;
+      ev.llsv_fallback = ev.fallbacks > 0;
+      ev.satisfied = r.satisfied;
+      mreg->add_event(ev);
+    };
 
     // Solver-level fault site, same semantics as in hooi() (see there).
     {
@@ -214,6 +261,7 @@ RankAdaptiveResult<T> rank_adaptive_hooi(
       for (int j = 0; j < d; ++j) {
         factors[j] = factors[j].leading_block(factors[j].rows(), ranks[j]);
       }
+      emit_iteration(rec);
       out.iterations.push_back(std::move(rec));
       if (!options.continue_after_satisfied) break;
     } else {
@@ -260,6 +308,7 @@ RankAdaptiveResult<T> rank_adaptive_hooi(
         sz += x.global_dim(j) * rec.sweep_ranks[j];
       }
       rec.compressed_size = sz;
+      emit_iteration(rec);
       out.iterations.push_back(std::move(rec));
     }
   }
@@ -277,6 +326,11 @@ RankAdaptiveResult<T> rank_adaptive_hooi(
                    &out.report);
     out.tucker.core = core.allgather_full();
     out.tucker.factors = factors;
+  }
+  if (mreg != nullptr) {
+    out.report.retries =
+        mreg->counter(metrics::Counter::fault_retries) - retries0;
+    out.report.metrics_snapshot = metrics::snapshot(*mreg);
   }
   return out;
 }

@@ -53,6 +53,14 @@ struct RankAdaptiveResult {
   /// asked rank_adaptive_hooi() to install its own Recorder (null when
   /// profiling was off or a Recorder was already installed).
   std::shared_ptr<prof::Recorder> trace;
+
+  /// This rank's metrics registry, present when
+  /// RankAdaptiveOptions::hooi.metrics asked rank_adaptive_hooi() to install
+  /// its own Registry (null when metrics were off or a Registry was already
+  /// installed). One "iteration" telemetry event is logged per RA iteration
+  /// — a superset of RaIterationRecord, so the progression plots can be
+  /// rebuilt from the event log alone.
+  std::shared_ptr<metrics::Registry> metrics;
 };
 
 template <typename T>

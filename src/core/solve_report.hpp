@@ -9,8 +9,11 @@
 // of replicated data, so all ranks record the same events and stay in
 // collective lockstep.
 
+#include <cstdint>
 #include <string>
 #include <vector>
+
+#include "metrics/report.hpp"
 
 namespace rahooi::core {
 
@@ -24,6 +27,22 @@ struct SolveEvent {
 
 struct SolveReport {
   std::vector<SolveEvent> events;
+
+  /// Fallback decisions taken (entering the Gram+EVD second chance or
+  /// keeping the previous factor). Counted at the same sites as the
+  /// metrics Counter::solver_fallbacks, so with a fresh registry the two
+  /// agree exactly.
+  std::uint64_t fallbacks = 0;
+
+  /// Transient-fault retries observed during this solve: the delta of the
+  /// metrics Counter::fault_retries across the solve. Stays 0 when metrics
+  /// are off (retries are only observable through the registry).
+  std::uint64_t retries = 0;
+
+  /// Final flat metrics snapshot of this rank's registry at solver exit
+  /// (`name{labels} -> value` samples; see metrics/report.hpp). Empty when
+  /// metrics are off.
+  std::vector<metrics::Sample> metrics_snapshot;
 
   void record(int sweep, int mode, std::string kind, std::string detail) {
     events.push_back(

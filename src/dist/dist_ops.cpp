@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "la/qr.hpp"
+#include "metrics/metrics.hpp"
 #include "prof/trace.hpp"
 #include "tensor/ttm.hpp"
 
@@ -24,8 +25,13 @@ DistTensor<T> dist_ttm(const DistTensor<T>& x, int mode,
   const idx_t my_off = x.local_offset(mode);
   const idx_t my_len = x.local_dim(mode);
   auto u_slice = u.block(my_off, 0, my_len, r);
-  tensor::Tensor<T> partial =
-      tensor::ttm(x.local(), mode, u_slice, la::Op::transpose);
+  tensor::Tensor<T> partial;
+  {
+    // The partial product is communication scratch, not a live tensor:
+    // charge it (and the kernel pack panels underneath) to pack_buffer.
+    const metrics::MemScopeGuard pack_scope(metrics::MemScope::pack_buffer);
+    partial = tensor::ttm(x.local(), mode, u_slice, la::Op::transpose);
+  }
 
   std::vector<idx_t> out_global = x.global_dims();
   out_global[mode] = r;
@@ -33,6 +39,9 @@ DistTensor<T> dist_ttm(const DistTensor<T>& x, int mode,
 
   if (pj == 1) {
     y.local() = std::move(partial);
+    // The moved buffer carries its pack_buffer charge; it just became the
+    // result's local block, so re-tag it like the DistTensor ctor would.
+    y.local().set_mem_scope(metrics::dist_scope());
     return y;
   }
 
@@ -42,7 +51,10 @@ DistTensor<T> dist_ttm(const DistTensor<T>& x, int mode,
   const idx_t left = partial.left_size(mode);
   const idx_t right = partial.right_size(mode);
   std::vector<idx_t> counts(pj);
-  std::vector<T> sendbuf(partial.size());
+  std::vector<T> sendbuf(static_cast<std::size_t>(partial.size()));
+  const metrics::ScopedBytes sendbuf_bytes(
+      metrics::MemScope::pack_buffer,
+      static_cast<double>(sendbuf.size()) * sizeof(T));
   idx_t base = 0;
   for (int q = 0; q < pj; ++q) {
     const idx_t off = block_offset(r, pj, q);
@@ -93,7 +105,10 @@ la::Matrix<T> redistribute_mode(const DistTensor<T>& x, int mode) {
 
   // Pack: destination q receives my m_loc-segment of each fiber in q's
   // chunk, fibers in chunk order, segment entries contiguous.
-  std::vector<T> sendbuf(x.local().size());
+  std::vector<T> sendbuf(static_cast<std::size_t>(x.local().size()));
+  const metrics::ScopedBytes sendbuf_bytes(
+      metrics::MemScope::pack_buffer,
+      static_cast<double>(sendbuf.size()) * sizeof(T));
   std::vector<idx_t> sdispls(pj), recvcounts(pj), rdispls(pj);
   idx_t base = 0;
   for (int q = 0; q < pj; ++q) {
@@ -116,7 +131,10 @@ la::Matrix<T> redistribute_mode(const DistTensor<T>& x, int mode) {
     rdispls[q] = rbase;
     rbase += recvcounts[q];
   }
-  std::vector<T> recvbuf(rbase);
+  std::vector<T> recvbuf(static_cast<std::size_t>(rbase));
+  const metrics::ScopedBytes recvbuf_bytes(
+      metrics::MemScope::pack_buffer,
+      static_cast<double>(recvbuf.size()) * sizeof(T));
   grid.mode_comm(mode).alltoallv(sendbuf.data(), sdispls, recvbuf.data(),
                                  recvcounts, rdispls);
 
@@ -195,7 +213,10 @@ la::Matrix<T> dist_mode_tsqr_r(const DistTensor<T>& x, int mode) {
   }
   idx_t total_rows = 0;
   for (int r = 0; r < p; ++r) total_rows += counts[r] / n;
-  std::vector<T> gathered(total_rows * n);
+  std::vector<T> gathered(static_cast<std::size_t>(total_rows * n));
+  const metrics::ScopedBytes gathered_bytes(
+      metrics::MemScope::pack_buffer,
+      static_cast<double>(gathered.size()) * sizeof(T));
   world.allgatherv(local.data(), gathered.data(), counts);
   RAHOOI_REQUIRE(mine == local.rows() * n, "tsqr: inconsistent local rows");
 

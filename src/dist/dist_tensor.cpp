@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "metrics/metrics.hpp"
 #include "prof/trace.hpp"
 
 namespace rahooi::dist {
@@ -23,6 +24,7 @@ DistTensor<T>::DistTensor(const ProcessorGrid& grid,
                           std::vector<idx_t> global_dims)
     : grid_(&grid), global_dims_(std::move(global_dims)) {
   local_ = tensor::Tensor<T>(local_dims_for(grid, global_dims_));
+  local_.set_mem_scope(metrics::dist_scope());
 }
 
 template <typename T>
@@ -34,6 +36,7 @@ DistTensor<T>::DistTensor(const ProcessorGrid& grid,
       local_(std::move(local)) {
   RAHOOI_REQUIRE(local_.dims() == local_dims_for(grid, global_dims_),
                  "local block shape does not match the distribution");
+  local_.set_mem_scope(metrics::dist_scope());
 }
 
 template <typename T>
@@ -89,7 +92,10 @@ tensor::Tensor<T> DistTensor<T>::allgather_full() const {
   }
   idx_t total = 0;
   for (const idx_t c : counts) total += c;
-  std::vector<T> packed(total);
+  std::vector<T> packed(static_cast<std::size_t>(total));
+  const metrics::ScopedBytes packed_bytes(
+      metrics::MemScope::pack_buffer,
+      static_cast<double>(packed.size()) * sizeof(T));
   world.allgatherv(local_.data(), packed.data(), counts);
 
   // Scatter each rank's (contiguous, locally-ordered) block into place.

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "comm/errors.hpp"
+#include "metrics/metrics.hpp"
 
 namespace rahooi::fault {
 
@@ -144,6 +145,9 @@ void with_retry(F&& f) {
       return;
     } catch (const comm::CommError&) {
       if (attempt >= policy.max_attempts) throw;
+      if (metrics::Registry* reg = metrics::registry()) {
+        reg->count(metrics::Counter::fault_retries);
+      }
       sleep_ms(delay);
       delay *= policy.multiplier;
     }

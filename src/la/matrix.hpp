@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "metrics/metrics.hpp"
 
 namespace rahooi::la {
 
@@ -35,12 +36,15 @@ class AlignedBuffer {
   AlignedBuffer(const AlignedBuffer&) = delete;
   AlignedBuffer& operator=(const AlignedBuffer&) = delete;
   AlignedBuffer(AlignedBuffer&& o) noexcept
-      : ptr_(std::exchange(o.ptr_, nullptr)), cap_(std::exchange(o.cap_, 0)) {}
+      : ptr_(std::exchange(o.ptr_, nullptr)),
+        cap_(std::exchange(o.cap_, 0)),
+        mem_(std::move(o.mem_)) {}
   AlignedBuffer& operator=(AlignedBuffer&& o) noexcept {
     if (this != &o) {
       release();
       ptr_ = std::exchange(o.ptr_, nullptr);
       cap_ = std::exchange(o.cap_, 0);
+      mem_ = std::move(o.mem_);
     }
     return *this;
   }
@@ -52,6 +56,10 @@ class AlignedBuffer {
       ptr_ = static_cast<T*>(
           ::operator new(n * sizeof(T), std::align_val_t{kAlign}));
       cap_ = n;
+      // Charged to pack_buffer only when growing, so the steady-state
+      // kernel path never touches the accounting.
+      mem_.acquire_as(metrics::MemScope::pack_buffer,
+                      static_cast<double>(n) * sizeof(T));
     }
     return ptr_;
   }
@@ -65,11 +73,13 @@ class AlignedBuffer {
       ::operator delete(ptr_, std::align_val_t{kAlign});
       ptr_ = nullptr;
       cap_ = 0;
+      mem_.release();
     }
   }
 
   T* ptr_ = nullptr;
   std::size_t cap_ = 0;
+  metrics::TrackedBytes mem_;
 };
 
 /// Non-owning mutable view of a column-major matrix with leading dimension.

@@ -1,0 +1,82 @@
+#include "metrics/metrics.hpp"
+
+#include <cmath>
+
+namespace rahooi::metrics {
+
+namespace {
+
+thread_local Registry* tls_registry = nullptr;
+thread_local MemScope tls_mem_scope = MemScope::tensor;
+
+}  // namespace
+
+const char* mem_scope_name(MemScope s) {
+  switch (s) {
+    case MemScope::tensor:
+      return "tensor";
+    case MemScope::dist_tensor:
+      return "dist_tensor";
+    case MemScope::pack_buffer:
+      return "pack_buffer";
+    case MemScope::checkpoint:
+      return "checkpoint";
+    case MemScope::dt_memo:
+      return "dt_memo";
+    case MemScope::count_:
+      break;
+  }
+  return "unknown";
+}
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::fault_retries:
+      return "fault_retries";
+    case Counter::solver_fallbacks:
+      return "solver_fallbacks";
+    case Counter::solver_sweeps:
+      return "solver_sweeps";
+    case Counter::checkpoint_writes:
+      return "checkpoint_writes";
+    case Counter::count_:
+      break;
+  }
+  return "unknown";
+}
+
+std::size_t Histogram::bucket_of(double v) {
+  if (!(v > 0.0)) return 0;
+  int exp = 0;
+  std::frexp(v, &exp);  // v = m * 2^exp with m in [0.5, 1)
+  const int idx = (exp - 1) - kMinExponent;
+  if (idx <= 0) return 0;
+  if (idx >= static_cast<int>(kBuckets)) return kBuckets - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+void Registry::clear() {
+  collectives_ = {};
+  gauges_ = {};
+  counters_ = {};
+  named_.clear();
+  events_.clear();
+}
+
+Registry* registry() { return tls_registry; }
+
+ScopedRegistry::ScopedRegistry(Registry& r) : prev_(tls_registry) {
+  tls_registry = &r;
+}
+
+ScopedRegistry::~ScopedRegistry() { tls_registry = prev_; }
+
+MemScope current_mem_scope() { return tls_mem_scope; }
+
+MemScopeGuard::MemScopeGuard(MemScope s) : prev_(tls_mem_scope) {
+  tls_mem_scope = s;
+}
+
+MemScopeGuard::~MemScopeGuard() { tls_mem_scope = prev_; }
+
+}  // namespace rahooi::metrics

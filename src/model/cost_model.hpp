@@ -15,6 +15,7 @@
 // All formulas assume the paper's simplified cubical setting: X is n^d,
 // the core is r^d, and the grid is P = P_1 x ... x P_d.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -117,5 +118,19 @@ std::vector<int> best_grid(Algorithm a, int d, double n, double r, int iters,
 
 /// All factorizations of p into d ordered positive factors.
 std::vector<std::vector<int>> grid_factorizations(int p, int d);
+
+/// Predicted peak of the dimension-tree memo cache (the dt_memo metrics
+/// gauge, docs/OBSERVABILITY.md) for the rank at `coord` of `grid`, in
+/// bytes: an exact walk of the sweep_tree_recurse live set. Each chain step
+/// briefly holds the previous chain node and the freshly allocated one; a
+/// chain's final node stays live across the recursion into its sibling
+/// half. The root tensor itself is charged to dist_tensor, not dt_memo, so
+/// it is not counted. Non-cubical dims/ranks/grids are supported — this is
+/// a per-rank bound on measured gauges, not a Table 1 formula.
+double predict_tree_memo_peak_bytes(const std::vector<std::int64_t>& global_dims,
+                                    const std::vector<std::int64_t>& ranks,
+                                    const std::vector<int>& grid,
+                                    const std::vector<int>& coord,
+                                    double elem_bytes);
 
 }  // namespace rahooi::model

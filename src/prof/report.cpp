@@ -22,6 +22,8 @@ struct PathAccum {
   std::map<int, double> rank_seconds;  // rank -> inclusive total
 };
 
+}  // namespace
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -43,8 +45,6 @@ std::string json_escape(const std::string& s) {
   }
   return out;
 }
-
-}  // namespace
 
 std::vector<SpanStat> aggregate(const std::vector<Recorder>& ranks) {
   std::map<std::string, PathAccum> by_path;
@@ -284,14 +284,22 @@ bool fail(std::string* error, const std::string& why) {
 
 }  // namespace
 
-bool validate_chrome_trace(const std::string& json, int expect_ranks,
-                           const std::vector<std::string>& required_names,
-                           std::string* error) {
-  JsonScanner scan{json.data(), json.data() + json.size()};
-  if (!scan.value()) return fail(error, "trace is not syntactically valid JSON");
+bool validate_json_syntax(const std::string& text, std::string* error) {
+  JsonScanner scan{text.data(), text.data() + text.size()};
+  if (!scan.value()) return fail(error, "not syntactically valid JSON");
   scan.skip_ws();
   if (scan.p != scan.end) {
     return fail(error, "trailing garbage after the top-level JSON value");
+  }
+  return true;
+}
+
+bool validate_chrome_trace(const std::string& json, int expect_ranks,
+                           const std::vector<std::string>& required_names,
+                           std::string* error) {
+  std::string syntax;
+  if (!validate_json_syntax(json, &syntax)) {
+    return fail(error, "trace is " + syntax);
   }
   if (json.find("\"traceEvents\"") == std::string::npos) {
     return fail(error, "missing traceEvents array");

@@ -67,4 +67,14 @@ bool validate_chrome_trace(const std::string& json, int expect_ranks,
                            const std::vector<std::string>& required_names,
                            std::string* error = nullptr);
 
+/// Escapes `s` for embedding inside a JSON string literal. Shared by the
+/// trace and metrics exporters.
+std::string json_escape(const std::string& s);
+
+/// Minimal JSON syntax check (no DOM, no dependency): true when `text` is
+/// exactly one complete JSON value with no trailing garbage. Shared by the
+/// trace and metrics validators.
+bool validate_json_syntax(const std::string& text,
+                          std::string* error = nullptr);
+
 }  // namespace rahooi::prof

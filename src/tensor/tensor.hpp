@@ -12,6 +12,7 @@
 
 #include "common/contracts.hpp"
 #include "la/matrix.hpp"
+#include "metrics/metrics.hpp"
 
 namespace rahooi::tensor {
 
@@ -33,6 +34,7 @@ class Tensor {
       RAHOOI_REQUIRE(d >= 0, "tensor dimensions must be nonnegative");
     }
     data_.assign(static_cast<std::size_t>(volume(dims_)), T{});
+    mem_.acquire(static_cast<double>(data_.size()) * sizeof(T));
   }
 
   int ndims() const { return static_cast<int>(dims_.size()); }
@@ -101,9 +103,17 @@ class Tensor {
   /// used when the rank-adaptive driver truncates the core.
   Tensor leading_subtensor(const std::vector<idx_t>& sub) const;
 
+  /// Moves this tensor's byte accounting to metrics scope `s` (the
+  /// DistTensor/dimension-tree layers retag their local blocks; no-op when
+  /// metrics are off).
+  void set_mem_scope(metrics::MemScope s) { mem_.retag(s); }
+
  private:
   std::vector<idx_t> dims_;
   std::vector<T> data_;
+  // Byte-accounted allocator tag (docs/OBSERVABILITY.md): copies re-acquire
+  // under the source's scope, moves transfer the charge with the buffer.
+  metrics::TrackedBytes mem_;
 };
 
 /// Explicit materialization of the mode-j unfolding as a (dim(j) x

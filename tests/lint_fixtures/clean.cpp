@@ -31,6 +31,10 @@ inline int format(char* buf, int n) {
 // Ownership via smart pointers, not naked new.
 inline std::unique_ptr<int> owned() { return std::make_unique<int>(7); }
 
+// Timing through the shared stats clock (not a raw steady_clock) is
+// allowed anywhere in library code.
+inline double elapsed(double t0) { return stats::now() - t0; }
+
 // Taxonomy throw and bare rethrow are both allowed.
 inline void taxonomy() { throw precondition_error("bad argument"); }
 inline void rethrow() {

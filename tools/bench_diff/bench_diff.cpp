@@ -1,0 +1,281 @@
+// bench_diff — compares a freshly emitted BENCH_*.json report against the
+// committed repo-root baseline and exits nonzero on regression, so CI can
+// catch performance/convergence drift without a human eyeballing numbers.
+//
+// Deliberately dependency-free (no library link, like rahooi_lint): a small
+// recursive-descent JSON reader flattens every numeric leaf to a dotted key
+// ("benchmarks.3.gflops", "rel_error") and the two flattened maps are
+// compared key by key:
+//
+//   * a key present in the baseline but missing from the fresh report is a
+//     regression (a benchmark silently disappeared);
+//   * a numeric leaf differing by more than tolerance * max(|base|, eps)
+//     is a regression (relative comparison with an absolute floor, so
+//     exact-zero baselines still match exact-zero fresh values);
+//   * keys only in the fresh report are reported but not fatal (new
+//     benchmarks land before their baseline is refreshed).
+//
+//   bench_diff [--tolerance <rel>] [--ignore <substr>]...
+//              <baseline.json> <fresh.json>
+//
+// --tolerance defaults to 0.05 (5% relative). --ignore drops every key
+// containing the substring from the comparison (e.g. --ignore seconds for
+// wall-clock fields that are deterministic in value-land but not in
+// time-land). Exit codes: 0 no regression, 1 regression, 2 usage/IO error.
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader: flattens numeric (and boolean) leaves to dotted keys.
+// ---------------------------------------------------------------------------
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  explicit Parser(const std::string& t) : text(t) {}
+
+  bool fail(const std::string& msg) {
+    if (error.empty()) {
+      error = msg + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+
+  bool peek(char c) {
+    skip_ws();
+    return pos < text.size() && text[pos] == c;
+  }
+
+  bool parse_string(std::string* out) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '"') return fail("expected string");
+    ++pos;
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) {
+        out->push_back(text[pos + 1]);
+        pos += 2;
+      } else {
+        out->push_back(text[pos]);
+        ++pos;
+      }
+    }
+    if (pos >= text.size()) return fail("unterminated string");
+    ++pos;
+    return true;
+  }
+
+  /// Parses any JSON value; numeric and boolean leaves land in `out` under
+  /// `key`, containers recurse with "."-joined child keys.
+  bool parse_value(const std::string& key,
+                   std::map<std::string, double>* out) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      if (peek('}')) {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        std::string name;
+        if (!parse_string(&name)) return false;
+        if (!consume(':')) return false;
+        const std::string child = key.empty() ? name : key + "." + name;
+        if (!parse_value(child, out)) return false;
+        if (peek(',')) {
+          ++pos;
+          continue;
+        }
+        return consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      if (peek(']')) {
+        ++pos;
+        return true;
+      }
+      for (std::size_t i = 0;; ++i) {
+        if (!parse_value(key + "." + std::to_string(i), out)) return false;
+        if (peek(',')) {
+          ++pos;
+          continue;
+        }
+        return consume(']');
+      }
+    }
+    if (c == '"') {
+      std::string ignored;
+      return parse_string(&ignored);  // string leaves are not compared
+    }
+    if (text.compare(pos, 4, "true") == 0) {
+      (*out)[key] = 1.0;
+      pos += 4;
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      (*out)[key] = 0.0;
+      pos += 5;
+      return true;
+    }
+    if (text.compare(pos, 4, "null") == 0) {
+      pos += 4;
+      return true;
+    }
+    // Number.
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '-' || text[pos] == '+')) {
+      ++pos;
+    }
+    if (pos == start) return fail("expected value");
+    (*out)[key] = std::strtod(text.substr(start, pos - start).c_str(),
+                              nullptr);
+    return true;
+  }
+};
+
+bool flatten_file(const char* path, std::map<std::string, double>* out,
+                  std::string* error) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    *error = "cannot open file";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  Parser p(text);
+  if (!p.parse_value("", out)) {
+    *error = p.error;
+    return false;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    *error = "trailing content after JSON value";
+    return false;
+  }
+  return true;
+}
+
+bool ignored(const std::string& key, const std::vector<std::string>& subs) {
+  for (const auto& s : subs) {
+    if (key.find(s) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tolerance = 0.05;
+  std::vector<std::string> ignores;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--ignore" && i + 1 < argc) {
+      ignores.push_back(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bench_diff: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.size() != 2 || !(tolerance >= 0.0)) {
+    std::fprintf(stderr,
+                 "usage: bench_diff [--tolerance <rel>] "
+                 "[--ignore <substr>]... <baseline.json> <fresh.json>\n");
+    return 2;
+  }
+
+  std::map<std::string, double> base, fresh;
+  std::string error;
+  if (!flatten_file(files[0], &base, &error)) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", files[0], error.c_str());
+    return 2;
+  }
+  if (!flatten_file(files[1], &fresh, &error)) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", files[1], error.c_str());
+    return 2;
+  }
+
+  constexpr double kAbsFloor = 1e-12;
+  int regressions = 0;
+  int compared = 0;
+  for (const auto& [key, b] : base) {
+    if (ignored(key, ignores)) continue;
+    const auto it = fresh.find(key);
+    if (it == fresh.end()) {
+      std::fprintf(stderr, "bench_diff: REGRESSION %s: missing from %s\n",
+                   key.c_str(), files[1]);
+      ++regressions;
+      continue;
+    }
+    ++compared;
+    const double f = it->second;
+    const double budget = tolerance * std::max(std::fabs(b), kAbsFloor);
+    if (std::fabs(f - b) > budget) {
+      std::fprintf(stderr,
+                   "bench_diff: REGRESSION %s: baseline %.6g, fresh %.6g "
+                   "(|diff| %.3g > %.3g)\n",
+                   key.c_str(), b, f, std::fabs(f - b), budget);
+      ++regressions;
+    }
+  }
+  int extra = 0;
+  for (const auto& [key, f] : fresh) {
+    if (ignored(key, ignores)) continue;
+    if (base.find(key) == base.end()) {
+      std::printf("bench_diff: note: %s (= %.6g) has no baseline entry\n",
+                  key.c_str(), f);
+      ++extra;
+    }
+  }
+
+  if (regressions > 0) {
+    std::fprintf(stderr, "bench_diff: %d regression(s) across %d compared "
+                         "key(s), tolerance %.3g\n",
+                 regressions, compared, tolerance);
+    return 1;
+  }
+  std::printf("bench_diff: OK — %d key(s) within %.3g relative tolerance "
+              "(%d new key(s) without baseline)\n",
+              compared, tolerance, extra);
+  return 0;
+}

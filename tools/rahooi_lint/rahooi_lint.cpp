@@ -21,6 +21,12 @@
 //   no-sleep           sleeping outside src/fault — delays belong to fault
 //                      injection only; anywhere else they hide real
 //                      schedule hazards.
+//   raw-steady-clock   std::chrono::steady_clock in library code outside
+//                      src/prof, src/metrics, and the stats::now()
+//                      implementation (src/common/stats.cpp) — all timing
+//                      must go through stats::now() so profiler spans and
+//                      metrics histograms share one clock and stay
+//                      mutually comparable.
 //   throw-taxonomy     every `throw` must use the rahooi error taxonomy
 //                      (comm/errors.hpp, common/contracts.hpp,
 //                      core/checkpoint.hpp, fault/fault.hpp) so Runtime::run
@@ -217,6 +223,8 @@ struct FileScope {
   bool library = false;   ///< under src/
   bool fault = false;     ///< under src/fault/
   bool span_zone = false; ///< under src/core/ or src/dist/
+  bool clock_zone = false; ///< sanctioned raw-clock sites (prof, metrics,
+                           ///< the stats::now() implementation)
   bool is_cpp = false;
   fs::path real;          ///< on-disk path (sibling-header lookup)
 };
@@ -333,6 +341,15 @@ void lint_tokens(const FileSource& f, const FileScope& scope,
       continue;
     }
 
+    // -- raw-steady-clock -------------------------------------------------
+    if (scope.library && !scope.clock_zone && tok.text == "steady_clock") {
+      add(tok.line, "raw-steady-clock",
+          "raw std::chrono::steady_clock in library code; call stats::now() "
+          "(common/stats.hpp) so prof spans and metrics histograms share "
+          "one clock");
+      continue;
+    }
+
     // -- throw-taxonomy ---------------------------------------------------
     if (tok.text == "throw") {
       if (next_text(1) == ";") continue;  // bare rethrow
@@ -434,6 +451,9 @@ FileScope make_scope(const fs::path& real, const std::string& rel) {
   scope.fault = starts_with(rel, "src/fault/");
   scope.span_zone = starts_with(rel, "src/core/") ||
                     starts_with(rel, "src/dist/");
+  scope.clock_zone = starts_with(rel, "src/prof/") ||
+                     starts_with(rel, "src/metrics/") ||
+                     rel == "src/common/stats.cpp";
   scope.is_cpp = real.extension() == ".cpp";
   return scope;
 }
