@@ -1,9 +1,16 @@
 // Kernel microbenchmarks. Two modes:
 //
-//   bench_kernels            — default: times the packed GEMM/SYRK/TTM/Gram
-//                              kernels against the retained naive references
-//                              at representative HOOI shapes and writes
-//                              BENCH_kernels.json (GFLOP/s + speedup).
+//   bench_kernels [--quick] [out.json]
+//                            — default: times the packed GEMM/SYRK/TTM/Gram
+//                              kernels (plus the sketch-apply tall-skinny
+//                              GEMM and the Khatri-Rao fold) against the
+//                              retained naive references at representative
+//                              HOOI shapes and writes BENCH_kernels.json:
+//                              per-row deterministic "flops" (shape-derived,
+//                              diffed by the bench-diff ctest gate) plus
+//                              GFLOP/s + speedup (timing-dependent, ignored
+//                              by the gate). --quick shrinks the per-row
+//                              timing budget for CI.
 //   bench_kernels --gbench   — the original google-benchmark suite over the
 //                              local building blocks that calibrate the
 //                              strong-scaling model, plus the paper's two
@@ -22,6 +29,7 @@
 #include "common/rng.hpp"
 #include "core/hooi.hpp"
 #include "data/synthetic.hpp"
+#include "la/blas.hpp"
 #include "la/eig.hpp"
 #include "la/qr.hpp"
 #include "la/svd.hpp"
@@ -57,8 +65,12 @@ tensor::Tensor<T> random_tensor(const std::vector<idx_t>& dims,
 // JSON report mode
 // ===========================================================================
 
-/// Runs fn repeatedly until ~0.3 s of wall time accumulates and returns
-/// GFLOP/s for the given per-call flop count.
+/// Per-row timing budget in seconds (--quick shrinks it for CI, where only
+/// the deterministic "flops" fields are gated anyway).
+double g_time_budget = 0.3;
+
+/// Runs fn repeatedly until ~g_time_budget of wall time accumulates and
+/// returns GFLOP/s for the given per-call flop count.
 double time_gflops(double flops_per_call, const std::function<void()>& fn) {
   fn();  // warm-up (also first-touch of any scratch)
   const auto t0 = std::chrono::steady_clock::now();
@@ -69,12 +81,13 @@ double time_gflops(double flops_per_call, const std::function<void()>& fn) {
     ++reps;
     secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
                .count();
-  } while (secs < 0.3 && reps < 1000000);
+  } while (secs < g_time_budget && reps < 1000000);
   return flops_per_call * reps / secs / 1e9;
 }
 
 struct JsonEntry {
   std::string name;
+  double flops;  ///< per-call flop count, a pure function of the shape
   double gflops;
   double ref_gflops;
 };
@@ -134,8 +147,8 @@ void bench_gemm_square(idx_t n, const char* tag,
   const double ref = time_gflops(flops, [&] {
     la::gemm_ref<T>(la::Op::none, la::Op::none, T{1}, a, b, T{0}, c.ref());
   });
-  out.push_back({std::string("gemm_") + tag + "_" + std::to_string(n), gf,
-                 ref});
+  out.push_back({std::string("gemm_") + tag + "_" + std::to_string(n), flops,
+                 gf, ref});
 }
 
 template <typename T>
@@ -152,7 +165,7 @@ void bench_gemm_ttm_shape(std::vector<JsonEntry>& out, const char* tag) {
   const double ref = time_gflops(flops, [&] {
     la::gemm_ref<T>(la::Op::none, la::Op::none, T{1}, a, b, T{0}, c.ref());
   });
-  out.push_back({std::string("gemm_ttm_shape_") + tag, gf, ref});
+  out.push_back({std::string("gemm_ttm_shape_") + tag, flops, gf, ref});
 }
 
 template <typename T>
@@ -165,7 +178,7 @@ void bench_syrk(std::vector<JsonEntry>& out, const char* tag) {
       time_gflops(flops, [&] { la::syrk<T>(T{1}, a, T{0}, c.ref()); });
   const double ref =
       time_gflops(flops, [&] { la::syrk_ref<T>(T{1}, a, T{0}, c.ref()); });
-  out.push_back({std::string("syrk_") + tag + "_256x4096", gf, ref});
+  out.push_back({std::string("syrk_") + tag + "_256x4096", flops, gf, ref});
 }
 
 template <typename T>
@@ -183,7 +196,7 @@ void bench_mode_gram(int mode, std::vector<JsonEntry>& out, const char* tag) {
       time_gflops(flops, [&] { mode_gram_seed_ref<T>(x, mode, g); });
   out.push_back({std::string("mode_gram_") + tag + "_64x64x64_mode" +
                      std::to_string(mode),
-                 gf, ref});
+                 flops, gf, ref});
 }
 
 template <typename T>
@@ -203,7 +216,7 @@ void bench_ttm(int mode, std::vector<JsonEntry>& out, const char* tag) {
       time_gflops(flops, [&] { ttm_seed_ref<T>(x, mode, u.cref(), y); });
   out.push_back({std::string("ttm_") + tag + "_64x64x64_mode" +
                      std::to_string(mode) + "_r16",
-                 gf, ref});
+                 flops, gf, ref});
 }
 
 template <typename T>
@@ -225,7 +238,59 @@ void bench_contraction(std::vector<JsonEntry>& out, const char* tag) {
                       g.slab(1, s), s == 0 ? T{0} : T{1}, z.ref());
     }
   });
-  out.push_back({std::string("contract_") + tag + "_64x32x32_mode1", gf,
+  out.push_back({std::string("contract_") + tag + "_64x32x32_mode1", flops,
+                 gf, ref});
+}
+
+/// The sketch-apply GEMM of dist_sketch_mode's mode-0 fast path: the local
+/// (m x K) unfolding times the tall-skinny (K x s) Omega block, s = r + p.
+template <typename T>
+void bench_gemm_sketch_shape(std::vector<JsonEntry>& out, const char* tag) {
+  const idx_t m = 64, k = 8192, s = 24;
+  auto a = random_matrix<T>(m, k, 15);
+  auto b = random_matrix<T>(k, s, 16);
+  la::Matrix<T> c(m, s);
+  const double flops = 2.0 * static_cast<double>(m) * k * s;
+  const double gf = time_gflops(flops, [&] {
+    la::gemm<T>(la::Op::none, la::Op::none, T{1}, a, b, T{0}, c.ref());
+  });
+  const double ref = time_gflops(flops, [&] {
+    la::gemm_ref<T>(la::Op::none, la::Op::none, T{1}, a, b, T{0}, c.ref());
+  });
+  out.push_back({std::string("gemm_sketch_shape_") + tag, flops, gf, ref});
+}
+
+/// Row-wise Khatri-Rao fold building the structured sketch operator
+/// Omega = W_2 (krp) W_1 (krp) W_0: two la::khatri_rao folds of 16-row
+/// Gaussian factors into a 4096 x 24 block (one multiply per output entry).
+template <typename T>
+void bench_krp_apply(std::vector<JsonEntry>& out, const char* tag) {
+  const idx_t n = 16, s = 24;
+  auto w0 = random_matrix<T>(n, s, 17);
+  auto w1 = random_matrix<T>(n, s, 18);
+  auto w2 = random_matrix<T>(n, s, 19);
+  const double flops =
+      static_cast<double>(n) * n * s + static_cast<double>(n) * n * n * s;
+  const double gf = time_gflops(flops, [&] {
+    auto o01 = la::khatri_rao<T>(w1.cref(), w0.cref());
+    auto o = la::khatri_rao<T>(w2.cref(), o01.cref());
+    benchmark::DoNotOptimize(o.data());
+  });
+  // Naive reference: triple-indexed scalar loop over the full operator.
+  la::Matrix<T> o(n * n * n, s);
+  const double ref = time_gflops(flops, [&] {
+    for (idx_t t = 0; t < s; ++t) {
+      for (idx_t i2 = 0; i2 < n; ++i2) {
+        for (idx_t i1 = 0; i1 < n; ++i1) {
+          for (idx_t i0 = 0; i0 < n; ++i0) {
+            o(i0 + n * (i1 + n * i2), t) = w0(i0, t) * w1(i1, t) * w2(i2, t);
+          }
+        }
+      }
+    }
+    benchmark::DoNotOptimize(o.data());
+  });
+  out.push_back({std::string("krp_apply_") + tag + "_16x16x16_s24", flops, gf,
                  ref});
 }
 
@@ -245,6 +310,9 @@ int run_json_report(const char* path) {
     bench_ttm<double>(mode, entries, "d");
   }
   bench_contraction<double>(entries, "d");
+  bench_gemm_sketch_shape<double>(entries, "d");
+  bench_gemm_sketch_shape<float>(entries, "s");
+  bench_krp_apply<double>(entries, "d");
 
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -255,9 +323,10 @@ int run_json_report(const char* path) {
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const auto& e = entries[i];
     std::fprintf(f,
-                 "    {\"name\": \"%s\", \"gflops\": %.3f, "
+                 "    {\"name\": \"%s\", \"flops\": %.12g, "
+                 "\"gflops\": %.3f, "
                  "\"ref_gflops\": %.3f, \"speedup\": %.2f}%s\n",
-                 e.name.c_str(), e.gflops, e.ref_gflops,
+                 e.name.c_str(), e.flops, e.gflops, e.ref_gflops,
                  e.gflops / e.ref_gflops, i + 1 < entries.size() ? "," : "");
     std::printf("%-36s %8.2f GF/s   ref %7.2f GF/s   %5.2fx\n",
                 e.name.c_str(), e.gflops, e.ref_gflops,
@@ -427,7 +496,13 @@ int main(int argc, char** argv) {
   bool gbench = false;
   const char* json_path = "BENCH_kernels.json";
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--gbench") == 0) gbench = true;
+    if (std::strcmp(argv[i], "--gbench") == 0) {
+      gbench = true;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      g_time_budget = 0.02;
+    } else if (argv[i][0] != '-') {
+      json_path = argv[i];
+    }
   }
   if (!gbench) return run_json_report(json_path);
 

@@ -1,14 +1,25 @@
 // HOOI driver, mirroring the paper artifact's `hooi` binary. The four HOOI
-// variants are selected exactly as in the artifact's table:
+// variants are selected exactly as in the artifact's table, plus the
+// sketched backends of this library:
 //
-//   variant   Dimension Tree Memoization   SVD Method
-//   HOOI      false                        0
-//   HOOI-DT   true                         0
-//   HOSI      false                        2
-//   HOSI-DT   true                         2
+//   variant       Dimension Tree Memoization   SVD Method
+//   HOOI          false                        0
+//   HOOI-DT       true                         0
+//   HOSI          false                        2
+//   HOSI-DT       true                         2
+//   HOSK(-DT)     either                       3  (Gaussian sketch)
+//   HOSK-KRP(-DT) either                       4  (Khatri-Rao sketch)
+//
+// "SVD Method = -1" asks the cost model to pick the cheapest LLSV backend
+// for the problem shape (model::pick_llsv_backend). The sketched backends
+// read the optional knobs "Sketch Oversample" (default 8), "Sketch Min
+// Cols" (16), "Sketch Growth" (2.0), "Sketch Safety" (0.5) and "Sketch
+// Deterministic" (false; bitwise grid-invariant fixed-point apply).
 //
 // "HOOI-Adapt Threshold" > 0 enables the rank-adaptive (error-specified)
-// driver (paper Alg. 3) with that epsilon; 0 runs fixed-rank HOOI.
+// driver (paper Alg. 3) with that epsilon; 0 runs fixed-rank HOOI. The
+// rank-adaptive start is controlled by "RA Init" = random (default, the
+// Alg. 3 cold start) or sketched (randomized ST-HOSVD warm start).
 //
 //   ./hooi_driver --parameter-file HOOI.cfg [--profile] [--restore]
 //               [--metrics-out <metrics.json>]
@@ -43,11 +54,14 @@
 #include <cstdio>
 #include <optional>
 
+#include <algorithm>
+
 #include "common/stopwatch.hpp"
 #include "core/rank_adaptive.hpp"
 #include "driver_common.hpp"
 #include "example_util.hpp"
 #include "fault/fault.hpp"
+#include "model/cost_model.hpp"
 #include "prof/report.hpp"
 
 using namespace rahooi;
@@ -68,11 +82,39 @@ int run(const io::ParamFile& params, bool profile, bool restore,
   if (construction.empty()) construction = decomposition;
 
   core::HooiOptions hooi_opts;
-  hooi_opts.svd_method = static_cast<core::SvdMethod>(
-      params.get_int("SVD Method", 0));
   hooi_opts.use_dimension_tree =
       params.get_bool("Dimension Tree Memoization", false);
   hooi_opts.max_iters = static_cast<int>(params.get_int("HOOI max iters", 2));
+  hooi_opts.sketch.oversample = params.get_int("Sketch Oversample", 8);
+  hooi_opts.sketch.min_cols = params.get_int("Sketch Min Cols", 16);
+  hooi_opts.sketch.growth = params.get_double("Sketch Growth", 2.0);
+  hooi_opts.sketch.safety = params.get_double("Sketch Safety", 0.5);
+  hooi_opts.sketch.deterministic =
+      params.get_bool("Sketch Deterministic", false);
+  long long svd_method = params.get_int("SVD Method", 0);
+  if (svd_method == -1) {
+    // Auto-select by modeled per-mode LLSV time for this problem shape
+    // (model/cost_model.hpp). HOOI sweeps have a warm start, so subspace
+    // iteration is eligible.
+    model::Problem prob;
+    prob.d = static_cast<int>(dims.size());
+    for (const auto v : dims) prob.n = std::max(prob.n, double(v));
+    for (const auto v : decomposition) prob.r = std::max(prob.r, double(v));
+    prob.iters = hooi_opts.max_iters;
+    prob.grid = gdims;
+    const model::LlsvBackend backend = model::pick_llsv_backend(
+        prob, hooi_opts.sketch.oversample, /*warm_start=*/true);
+    switch (backend) {
+      case model::LlsvBackend::gram_evd: svd_method = 0; break;
+      case model::LlsvBackend::subspace_iteration: svd_method = 2; break;
+      case model::LlsvBackend::sketch: svd_method = 3; break;
+    }
+    std::printf("SVD Method = -1 (auto): cost model picked %s (method %lld)\n",
+                model::llsv_backend_name(backend), svd_method);
+  }
+  RAHOOI_REQUIRE(svd_method >= 0 && svd_method <= 4,
+                 "'SVD Method' must be in [0, 4] or -1 (auto)");
+  hooi_opts.svd_method = static_cast<core::SvdMethod>(svd_method);
   hooi_opts.seed = static_cast<std::uint64_t>(params.get_int("Seed", 1));
   hooi_opts.profile = profile;
   hooi_opts.metrics = !metrics_out.empty();
@@ -128,6 +170,11 @@ int run(const io::ParamFile& params, bool profile, bool restore,
           opt.tolerance = adapt;
           opt.max_iters = hooi_opts.max_iters;
           opt.growth_factor = params.get_double("Rank growth factor", 1.5);
+          const std::string init = params.get_string("RA Init", "random");
+          RAHOOI_REQUIRE(init == "sketched" || init == "random",
+                         "'RA Init' must be 'sketched' or 'random'");
+          opt.init = init == "random" ? core::RaInit::random_factors
+                                      : core::RaInit::sketched_sthosvd;
           auto res = core::rank_adaptive_hooi(x, decomposition, opt);
           world.barrier();
           const std::string output = params.get_string("Output file", "");

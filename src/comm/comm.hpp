@@ -27,6 +27,7 @@
 // running, so a divergent collective schedule aborts the world with a
 // two-rank report instead of deadlocking or corrupting replicated state.
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <numeric>
@@ -162,6 +163,39 @@ class Comm {
   double allreduce_scalar(double v) const {
     allreduce_sum(&v, 1);
     return v;
+  }
+
+  /// In-place element-wise max across all ranks; every rank receives the
+  /// identical result. Max over a fixed rank order is exact (no rounding),
+  /// so this collective can never desynchronize replicated state — the
+  /// deterministic sketch path uses it to agree on a global quantization
+  /// scale (dist/sketch.cpp) before an integer allreduce.
+  template <typename T>
+  void allreduce_max(T* data, idx_t n) const {
+    prof::TraceSpan span("allreduce");
+    CollectiveGuard guard(ctx_.get(), rank_, "allreduce");
+    metrics::CollectiveTimer mtimer;
+    if (size() == 1) return;
+    ctx_->schedule_check(
+        rank_,
+        SchedFingerprint{SchedOp::allreduce_max, sched_dtype_tag<T>(), -1,
+                         static_cast<std::uint64_t>(n) * sizeof(T)});
+    ctx_->post(rank_, SlotEntry{data, nullptr, nullptr, 0});
+    ctx_->barrier_wait();
+    std::vector<T> acc(static_cast<const T*>(ctx_->slot(0).in),
+                       static_cast<const T*>(ctx_->slot(0).in) + n);
+    for (int r = 1; r < size(); ++r) {
+      const T* src = static_cast<const T*>(ctx_->slot(r).in);
+      for (idx_t i = 0; i < n; ++i) acc[i] = std::max(acc[i], src[i]);
+    }
+    ctx_->barrier_wait(Context::BarrierPhase::exit);
+    if (n != 0) std::copy(acc.begin(), acc.end(), data);
+    ctx_->barrier_wait(Context::BarrierPhase::exit);
+    // Rabenseifner: reduce-scatter + allgather, 2n(P-1)/P per rank.
+    stats::add_comm(CollectiveKind::allreduce,
+                    2.0 * bytes_of<T>(n) * (size() - 1) / size());
+    mtimer.record(CollectiveKind::allreduce,
+                  2.0 * bytes_of<T>(n) * (size() - 1) / size());
   }
 
   /// Sums all ranks' full-length `in` arrays (length = sum of counts), then

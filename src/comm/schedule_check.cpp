@@ -47,6 +47,7 @@ const char* sched_op_name(SchedOp op) {
     case SchedOp::bcast: return "bcast";
     case SchedOp::reduce: return "reduce";
     case SchedOp::allreduce: return "allreduce";
+    case SchedOp::allreduce_max: return "allreduce_max";
     case SchedOp::reduce_scatter: return "reduce_scatter";
     case SchedOp::allgatherv: return "allgatherv";
     case SchedOp::alltoallv: return "alltoallv";

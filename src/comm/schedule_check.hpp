@@ -39,6 +39,7 @@ enum class SchedOp : std::uint8_t {
   bcast,
   reduce,
   allreduce,
+  allreduce_max,
   reduce_scatter,
   allgatherv,
   alltoallv,

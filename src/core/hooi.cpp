@@ -76,6 +76,21 @@ la::Matrix<T> leaf_update_primary(const dist::DistTensor<T>& y, int mode,
                                      la::orthonormalize<T>(sketch.cref()),
                                      options.subspace_steps);
     }
+    case SvdMethod::gaussian_sketch:
+    case SvdMethod::krp_sketch: {
+      // Sketched range finder: a fresh counter-based Omega per (sweep, mode)
+      // so sweeps are independent draws yet identical on every rank/grid.
+      const CounterRng rng = CounterRng(options.seed)
+                                 .stream(0x5EED5CEBull + sweep_index)
+                                 .stream(mode);
+      const dist::SketchKind kind = options.svd_method ==
+                                            SvdMethod::gaussian_sketch
+                                        ? dist::SketchKind::gaussian
+                                        : dist::SketchKind::krp;
+      return llsv_sketch(y, mode, ranks[mode], 0.0, kind, options.sketch,
+                         rng)
+          .u;
+    }
     case SvdMethod::gram_evd:
       break;
   }

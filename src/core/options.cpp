@@ -15,6 +15,15 @@ void validate(const HooiOptions& o) {
   RAHOOI_REQUIRE(std::isfinite(o.collective_timeout_ms) &&
                      o.collective_timeout_ms >= 0.0,
                  "HooiOptions: collective_timeout_ms must be finite and >= 0");
+  RAHOOI_REQUIRE(o.sketch.oversample >= 1,
+                 "SketchOptions: oversample must be >= 1");
+  RAHOOI_REQUIRE(o.sketch.min_cols >= 1,
+                 "SketchOptions: min_cols must be >= 1");
+  RAHOOI_REQUIRE(std::isfinite(o.sketch.growth) && o.sketch.growth > 1.0,
+                 "SketchOptions: growth must exceed 1");
+  RAHOOI_REQUIRE(std::isfinite(o.sketch.safety) && o.sketch.safety > 0.0 &&
+                     o.sketch.safety <= 1.0,
+                 "SketchOptions: safety must be in (0, 1]");
 }
 
 void validate(const RankAdaptiveOptions& o) {

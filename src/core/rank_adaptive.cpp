@@ -6,6 +6,7 @@
 #include "comm/monitor.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
+#include "core/sthosvd.hpp"
 #include "fault/fault.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/report.hpp"
@@ -159,8 +160,25 @@ RankAdaptiveResult<T> rank_adaptive_hooi(
     ranks[j] = std::min(ranks[j], x.global_dim(j));
     RAHOOI_REQUIRE(ranks[j] >= 1, "initial ranks must be positive");
   }
-  std::vector<la::Matrix<T>> factors =
-      random_factors<T>(x.global_dims(), ranks, options.hooi.seed);
+  std::vector<la::Matrix<T>> factors;
+  if (options.init == RaInit::sketched_sthosvd) {
+    // Randomized ST-HOSVD warm start: one sketched pass at the target
+    // tolerance seeds both factors and ranks, so the first HOOI iteration
+    // refines an informed subspace instead of random noise. The adaptive
+    // sketch width grows per mode until its tail estimate clears the
+    // per-mode threshold (core/llsv.hpp).
+    prof::TraceSpan init_span("sketched_init");
+    const LlsvKernel kernel =
+        options.hooi.svd_method == SvdMethod::krp_sketch
+            ? LlsvKernel::krp_sketch
+            : LlsvKernel::gaussian_sketch;
+    TuckerResult<T> init = sthosvd(x, options.tolerance, kernel,
+                                   options.hooi.sketch, options.hooi.seed);
+    factors = std::move(init.factors);
+    for (int j = 0; j < d; ++j) ranks[j] = factors[j].cols();
+  } else {
+    factors = random_factors<T>(x.global_dims(), ranks, options.hooi.seed);
+  }
 
   for (int iter = 1; iter <= options.max_iters; ++iter) {
     prof::TraceSpan iter_span("iteration", static_cast<std::int64_t>(iter));

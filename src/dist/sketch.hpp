@@ -1,0 +1,54 @@
+#pragma once
+// Distributed randomized sketch apply — the communication kernel under the
+// sketched LLSV backends (core/llsv.hpp) and the randomized ST-HOSVD
+// initializer:
+//
+//   Y = X_(mode) * Omega,   Omega of shape (prod_{i != mode} n_i) x cols,
+//
+// returned replicated (n_mode x cols) on every rank. Omega is never stored:
+// its entries are counter-based functions of *global* indices
+// (common/rng.hpp), so every grid decomposition sketches the same operator —
+// each rank applies Omega's rows for the fibers it owns and one world
+// allreduce sums the partial products (the same collective pattern as the
+// Gram path, at 2*n*cols*(P-1)/P words per rank instead of 2*n^2*(P-1)/P).
+//
+// Two operator families (HMT §4.3 / Minster, Li & Ballard):
+//  * gaussian — i.i.d. N(0,1) entries keyed on the global fiber index; the
+//    apply is the fused strided-batch kernel over the slab geometry
+//    (la::gemm_batch_tn), or one tall-skinny GEMM when the mode's left size
+//    is 1.
+//  * krp — Omega is the row-wise Khatri-Rao product of small per-mode
+//    Gaussians W_i (n_i x cols, i != mode), so a rank only materializes the
+//    rows of the (prod n_i)-row operator it actually touches: the left
+//    factors fold with la::khatri_rao once, the right factors collapse to a
+//    per-slab column scaling.
+//
+// Determinism: with `deterministic = false` (default), the result is
+// replicated (identical on all ranks of one run) and grid-invariant to
+// roundoff — partial-sum order differs between grids. With
+// `deterministic = true`, products are quantized to int64 fixed point with
+// a globally agreed scale (allreduce_max of |X|, analytic bound on |Omega|)
+// and summed with an integer allreduce; integer addition is associative, so
+// the result is *bitwise* identical on every grid — the reproducibility
+// knob the P=1-vs-P=4 sketch tests pin down.
+
+#include "common/rng.hpp"
+#include "dist/dist_tensor.hpp"
+#include "la/blas.hpp"
+
+namespace rahooi::dist {
+
+/// Sketch operator family (see file comment).
+enum class SketchKind { gaussian, krp };
+
+/// Replicated Y = X_(mode) * Omega with `cols` sketch columns drawn from
+/// `rng` (pass a stream derived from the solver seed; the same rng yields
+/// the same Omega on every rank and grid). Flops are attributed to
+/// Phase::gram — the sketch plays the Gram pass's role in the breakdown.
+/// Fault site "sketch" (transient faults retried, docs/ROBUSTNESS.md).
+template <typename T>
+la::Matrix<T> dist_sketch_mode(const DistTensor<T>& x, int mode, idx_t cols,
+                               const CounterRng& rng, SketchKind kind,
+                               bool deterministic = false);
+
+}  // namespace rahooi::dist

@@ -39,6 +39,8 @@ const char* counter_name(Counter c) {
       return "solver_sweeps";
     case Counter::checkpoint_writes:
       return "checkpoint_writes";
+    case Counter::sketch_regrowths:
+      return "sketch_regrowths";
     case Counter::count_:
       break;
   }
@@ -58,6 +60,7 @@ std::size_t Histogram::bucket_of(double v) {
 void Registry::clear() {
   collectives_ = {};
   gauges_ = {};
+  sketch_cols_ = {};
   counters_ = {};
   named_.clear();
   events_.clear();

@@ -46,6 +46,7 @@ enum class Counter : int {
   solver_fallbacks,   ///< LLSV fallback decisions taken by leaf_update
   solver_sweeps,      ///< completed HOOI sweeps
   checkpoint_writes,  ///< checkpoints saved
+  sketch_regrowths,   ///< adaptive sketched-LLSV width regrowth rounds
   count_
 };
 constexpr int kCounterCount = static_cast<int>(Counter::count_);
@@ -176,6 +177,15 @@ class Registry {
     return gauges_[static_cast<std::size_t>(s)];
   }
 
+  // Sketch-width gauge (hot path): each sketched-LLSV apply records its
+  // width; the add/sub pair leaves `live` at zero so `peak` reports the
+  // widest sketch the solve needed (the adaptive ladder's high-water mark).
+  void record_sketch_cols(double cols) {
+    sketch_cols_.add(cols);
+    sketch_cols_.sub(cols);
+  }
+  const Gauge& sketch_cols() const { return sketch_cols_; }
+
   // Fixed counters (hot path).
   void count(Counter c, std::uint64_t n = 1) {
     counters_[static_cast<std::size_t>(c)] += n;
@@ -198,6 +208,7 @@ class Registry {
   int rank_ = 0;
   std::array<CollectiveMetrics, kCollectiveCount> collectives_{};
   std::array<Gauge, static_cast<std::size_t>(kMemScopeCount)> gauges_{};
+  Gauge sketch_cols_{};
   std::array<std::uint64_t, static_cast<std::size_t>(kCounterCount)>
       counters_{};
   std::map<std::string, double> named_;

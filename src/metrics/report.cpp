@@ -119,6 +119,8 @@ std::vector<Sample> snapshot(const Registry& r) {
     add("mem.peak_bytes" + labels, r.gauge(scope).peak);
   }
 
+  add("sketch.cols.peak", r.sketch_cols().peak);
+
   for (int c = 0; c < kCounterCount; ++c) {
     const auto counter = static_cast<Counter>(c);
     add(std::string("counter{name=\"") + counter_name(counter) + "\"}",

@@ -20,6 +20,16 @@ TEST(Comm, SingleRankWorldIsTrivial) {
   });
 }
 
+TEST(Comm, AllreduceMaxTakesElementwiseMaximum) {
+  Runtime::run(4, [](Comm& world) {
+    double v[2] = {static_cast<double>(world.rank()),
+                   -static_cast<double>(world.rank())};
+    world.allreduce_max(v, 2);
+    EXPECT_DOUBLE_EQ(v[0], 3.0);   // max over ranks 0..3
+    EXPECT_DOUBLE_EQ(v[1], 0.0);   // max of {0, -1, -2, -3}
+  });
+}
+
 TEST(Comm, RanksAreDistinct) {
   std::atomic<int> mask{0};
   Runtime::run(4, [&](Comm& world) {

@@ -19,6 +19,7 @@
 #include "comm/runtime.hpp"
 #include "core/checkpoint.hpp"
 #include "core/hooi.hpp"
+#include "dist/sketch.hpp"
 #include "la/eig.hpp"
 #include "test_util.hpp"
 
@@ -93,6 +94,41 @@ TEST(FaultInjection, TransientFaultRetriesAndSucceeds) {
     double v = world.rank() + 1.0;
     world.allreduce_sum(&v, 1);
     EXPECT_DOUBLE_EQ(v, 10.0);
+  });
+  EXPECT_EQ(plan.fired(0), 2u);
+}
+
+TEST(FaultInjection, SketchSiteTransientRecoversWithSameResult) {
+  // Transient faults at rank 1's "sketch" entry are absorbed by the
+  // with_retry wrapper before the kernel's allreduce, so the recovered rank
+  // re-enters the collective schedule in lockstep and the sketch is
+  // unchanged.
+  auto x = random_tensor<double>({8, 6, 4}, 606);
+  const CounterRng rng = CounterRng(3).stream(1);
+  la::Matrix<double> clean;
+  comm::Runtime::run(4, [&](comm::Comm& world) {
+    dist::ProcessorGrid grid(world, {2, 2, 1});
+    auto xd = dist::DistTensor<double>::generate(
+        grid, x.dims(),
+        [&x](const std::vector<la::idx_t>& g) { return x.at(g); });
+    auto y = dist::dist_sketch_mode(xd, 0, 3, rng, dist::SketchKind::gaussian);
+    if (world.rank() == 0) clean = std::move(y);
+  });
+
+  fault::Plan plan;
+  plan.add({.op = "sketch", .rank = 1, .nth = 0, .count = 2,
+            .action = fault::Action::transient});
+  fault::ScopedPlan installed(plan);
+  comm::Runtime::run(4, [&](comm::Comm& world) {
+    dist::ProcessorGrid grid(world, {2, 2, 1});
+    auto xd = dist::DistTensor<double>::generate(
+        grid, x.dims(),
+        [&x](const std::vector<la::idx_t>& g) { return x.at(g); });
+    auto y = dist::dist_sketch_mode(xd, 0, 3, rng, dist::SketchKind::gaussian);
+    ASSERT_EQ(y.size(), clean.size());
+    for (la::idx_t i = 0; i < y.size(); ++i) {
+      EXPECT_EQ(y.data()[i], clean.data()[i]);
+    }
   });
   EXPECT_EQ(plan.fired(0), 2u);
 }

@@ -166,7 +166,9 @@ TEST_P(FuzzSweep, HooiSweepKeepsFactorsOrthonormal) {
     dist::ProcessorGrid grid(world, c.grid);
     auto x = dist_of(grid, serial);
     for (const auto svd : {core::SvdMethod::gram_evd,
-                           core::SvdMethod::subspace_iteration}) {
+                           core::SvdMethod::subspace_iteration,
+                           core::SvdMethod::gaussian_sketch,
+                           core::SvdMethod::krp_sketch}) {
       core::HooiOptions o;
       o.svd_method = svd;
       o.use_dimension_tree = (GetParam() % 2) == 0;

@@ -99,6 +99,27 @@ TEST(CounterRng, StreamDerivationIsDeterministic) {
   EXPECT_EQ(a.stream(7).seed(), b.stream(7).seed());
 }
 
+TEST(CounterRng, Normal2MatchesStreamedNormal) {
+  // normal2(i, j) is defined as stream(j).normal(i) — the two spellings the
+  // sketch kernels use interchangeably must agree bitwise.
+  CounterRng rng(31);
+  for (std::uint64_t j = 0; j < 4; ++j) {
+    const CounterRng sj = rng.stream(j);
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(rng.normal2(i, j), sj.normal(i));
+    }
+  }
+}
+
+TEST(CounterRng, NormalIsBoundedByBoxMullerClamp) {
+  // |normal| <= sqrt(-2 ln 2^-53) < 8.58 — the analytic bound the
+  // deterministic sketch path's fixed-point scale relies on.
+  CounterRng rng(32);
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    EXPECT_LT(std::abs(rng.normal(i)), 8.58);
+  }
+}
+
 TEST(CounterRng, BitsAreWellMixed) {
   // Adjacent counters should produce values with ~32 differing bits.
   CounterRng rng(11);
