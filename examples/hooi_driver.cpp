@@ -254,6 +254,14 @@ int run(const io::ParamFile& params, bool profile, bool restore,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (examples::has_flag(argc, argv, "--help")) {
+    std::printf(
+        "usage: hooi_driver --parameter-file <file.cfg> [--profile]\n"
+        "                   [--restore] [--metrics-out <metrics.json>]\n\n"
+        "parameter keys (io::param_key_table):\n%s",
+        io::param_help("hooi").c_str());
+    return 0;
+  }
   try {
     const io::ParamFile params = examples::load_params(argc, argv);
     if (params.get_bool("Print options", false)) {

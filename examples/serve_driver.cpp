@@ -1,0 +1,246 @@
+// Multi-tenant serving driver over rahooi::serve::Scheduler
+// (docs/SERVING.md). Two modes:
+//
+//   ./serve_driver [--pool N] [--workers N] [--queue N]
+//                  [--metrics-out <metrics.json>] <job.cfg> [<job.cfg> ...]
+//
+// submits one job per parameter file (hooi_driver keys plus the serve
+// admission keys "Serve priority" / "Serve deadline s"), drains the
+// scheduler, and prints one report line per job; and
+//
+//   ./serve_driver --smoke [--metrics-out <metrics.json>]
+//
+// runs the deterministic multi-tenant scenario of the serve-smoke ctest:
+// a paused scheduler (pool of 4 ranks, 2 workers, queue cap 4) is loaded
+// with a high/normal mix, a 4-rank job carrying an injected rank kill, a
+// low-priority job with a microscopic deadline, and one job over the queue
+// cap — then released. A second batch replays the first request (cache
+// hit, bitwise-identical factors) and submits a grid-less job (elastic
+// rank planning). Every outcome, counter, and gauge is asserted.
+//
+// --metrics-out writes the scheduler registry's flat JSON + JSONL event
+// log (one "solve" event per finished job), which the serve-smoke ctest
+// validates with examples/metrics_lint.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "driver_common.hpp"
+#include "example_util.hpp"
+#include "serve/serve.hpp"
+
+using namespace rahooi;
+
+namespace {
+
+int g_failures = 0;
+
+#define SMOKE_CHECK(cond, what)                                   \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      std::printf("SMOKE FAIL: %s (%s)\n", what, #cond);          \
+      ++g_failures;                                               \
+    }                                                             \
+  } while (0)
+
+io::ParamFile smoke_params(const std::string& grid, const std::string& extra) {
+  std::string text =
+      "Global dims = 24 24 24\n"
+      "Construction Ranks = 4 4 4\n"
+      "Decomposition Ranks = 4 4 4\n"
+      "HOOI max iters = 2\n"
+      "Seed = 7\n";
+  if (!grid.empty()) text += "Processor grid dims = " + grid + "\n";
+  text += extra;
+  return io::ParamFile::parse(text);
+}
+
+void print_report(const serve::SolveReport& r) {
+  std::printf(
+      "job %llu '%s' [%s] -> %s: ranks_used=%d grid=%s queue=%.3fs "
+      "solve=%.3fs total=%.3fs",
+      static_cast<unsigned long long>(r.id), r.name.c_str(),
+      serve::priority_name(r.priority), serve::outcome_name(r.outcome),
+      r.ranks_used,
+      examples::dims_to_string(
+          std::vector<la::idx_t>(r.grid.begin(), r.grid.end()))
+          .c_str(),
+      r.queue_seconds, r.solve_seconds, r.total_seconds);
+  if (r.ok()) {
+    std::printf(" ranks=%s rel_error=%.4e",
+                examples::dims_to_string(r.tucker_ranks).c_str(), r.rel_error);
+  } else {
+    std::printf(" error=\"%s\"", r.error.c_str());
+  }
+  std::printf("%s%s\n", r.elastic_grid ? " (elastic grid)" : "",
+              r.deadline_overrun ? " (deadline overrun)" : "");
+}
+
+void write_serve_metrics(const std::string& path, const serve::Scheduler& s) {
+  const metrics::Registry reg = s.metrics();
+  examples::write_metrics_outputs(path, {reg});
+}
+
+int run_smoke(const std::string& metrics_out) {
+  serve::ServeOptions opts;
+  opts.pool_ranks = 4;
+  opts.workers = 2;
+  opts.max_queue = 4;
+  opts.start_paused = true;
+  serve::Scheduler sched(opts);
+
+  // Batch 1 — admitted while dispatch is paused, so the admission decisions
+  // (queue order, shedding) are independent of solve timing.
+  serve::SolveRequest a{"alpha", smoke_params("1 1 2", ""),
+                        serve::Priority::high, 0.0};
+  serve::SolveRequest b{"beta", smoke_params("1 1 2", "Seed = 8\n"),
+                        serve::Priority::normal, 0.0};
+  // The faulted job is the only world in this batch with 4 ranks, so its
+  // process-wide "kill rank 3" plan cannot touch a neighbor (ranks 0-1).
+  serve::SolveRequest f{"faulty",
+                        smoke_params("1 2 2", "Fault plan = kill:sweep@3%0\n"),
+                        serve::Priority::normal, 0.0};
+  serve::SolveRequest d{"deadline", smoke_params("1 1 1", ""),
+                        serve::Priority::low, 1e-3};
+  serve::SolveRequest s{"surplus", smoke_params("1 1 1", "Seed = 9\n"),
+                        serve::Priority::low, 0.0};
+
+  const auto id_a = sched.submit(a);
+  const auto id_b = sched.submit(std::move(b));
+  const auto id_f = sched.submit(std::move(f));
+  const auto id_d = sched.submit(std::move(d));
+  const auto id_s = sched.submit(std::move(s));  // 5th into a queue of 4
+  sched.start();
+
+  const serve::SolveReport rep_a = sched.wait(id_a);
+  const serve::SolveReport rep_b = sched.wait(id_b);
+  const serve::SolveReport rep_f = sched.wait(id_f);
+  const serve::SolveReport rep_d = sched.wait(id_d);
+  const serve::SolveReport rep_s = sched.wait(id_s);
+
+  // Batch 2 — replay of 'alpha' (result cache) and a grid-less request
+  // (elastic rank planning). Runs after batch 1 fully drains, so the cache
+  // hit is structural, not a race; and the fault plan is long uninstalled.
+  const auto id_a2 = sched.submit(a);
+  serve::SolveRequest e{"elastic", smoke_params("", "Global dims = 16 16 16\n"),
+                        serve::Priority::normal, 0.0};
+  const auto id_e = sched.submit(std::move(e));
+  const serve::SolveReport rep_a2 = sched.wait(id_a2);
+  const serve::SolveReport rep_e = sched.wait(id_e);
+
+  for (const auto* r : {&rep_a, &rep_b, &rep_f, &rep_d, &rep_s, &rep_a2,
+                        &rep_e}) {
+    print_report(*r);
+  }
+
+  SMOKE_CHECK(rep_a.outcome == serve::Outcome::completed, "alpha completes");
+  SMOKE_CHECK(rep_b.outcome == serve::Outcome::completed, "beta completes");
+  SMOKE_CHECK(rep_f.outcome == serve::Outcome::failed,
+              "injected rank kill fails the faulty job");
+  SMOKE_CHECK(!rep_f.error.empty(), "failure carries its cause");
+  SMOKE_CHECK(rep_f.result == nullptr, "failed job has no result");
+  SMOKE_CHECK(rep_d.outcome == serve::Outcome::deadline_miss,
+              "1ms deadline expires while queued");
+  SMOKE_CHECK(rep_d.ranks_used == 0, "missed job never ran a world");
+  SMOKE_CHECK(rep_s.outcome == serve::Outcome::shed,
+              "queue-cap overflow is shed at submit");
+  SMOKE_CHECK(rep_a2.outcome == serve::Outcome::cache_hit,
+              "replayed request hits the result cache");
+  SMOKE_CHECK(rep_a2.result == rep_a.result,
+              "cache hit aliases the original factors (bitwise identical)");
+  SMOKE_CHECK(rep_e.outcome == serve::Outcome::completed,
+              "elastic job completes");
+  SMOKE_CHECK(rep_e.elastic_grid, "grid-less request gets an elastic grid");
+
+  const metrics::Registry reg = sched.metrics();
+  using metrics::Counter;
+  SMOKE_CHECK(reg.counter(Counter::serve_submitted) == 7, "submitted = 7");
+  SMOKE_CHECK(reg.counter(Counter::serve_completed) == 3, "completed = 3");
+  SMOKE_CHECK(reg.counter(Counter::serve_cache_hits) == 1, "cache_hits = 1");
+  SMOKE_CHECK(reg.counter(Counter::serve_shed) == 1, "shed = 1");
+  SMOKE_CHECK(reg.counter(Counter::serve_deadline_misses) == 1,
+              "deadline_misses = 1");
+  SMOKE_CHECK(reg.counter(Counter::serve_failed) == 1, "failed = 1");
+  SMOKE_CHECK(reg.serve_queue().peak >= 4.0, "queue gauge saw the backlog");
+  SMOKE_CHECK(reg.serve_queue().live == 0.0, "queue gauge drains to zero");
+  SMOKE_CHECK(reg.events().size() == 7, "one telemetry event per job");
+
+  if (!metrics_out.empty()) write_serve_metrics(metrics_out, sched);
+
+  std::printf("serve smoke: %s (%d failures)\n",
+              g_failures == 0 ? "PASS" : "FAIL", g_failures);
+  return g_failures == 0 ? 0 : 1;
+}
+
+int run_files(const std::vector<std::string>& files, int pool, int workers,
+              std::size_t queue, const std::string& metrics_out) {
+  serve::ServeOptions opts;
+  opts.pool_ranks = pool;
+  opts.workers = workers;
+  opts.max_queue = queue;
+  serve::Scheduler sched(opts);
+  for (const std::string& path : files) {
+    serve::SolveRequest req;
+    req.name = path;
+    req.params = io::ParamFile::load(path);
+    sched.submit(std::move(req));
+  }
+  int failures = 0;
+  for (const serve::SolveReport& r : sched.drain()) {
+    print_report(r);
+    if (!r.ok()) ++failures;
+  }
+  if (!metrics_out.empty()) write_serve_metrics(metrics_out, sched);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (examples::has_flag(argc, argv, "--help")) {
+      std::printf(
+          "usage: serve_driver [--pool N] [--workers N] [--queue N]\n"
+          "                    [--metrics-out <metrics.json>]\n"
+          "                    <job.cfg> [<job.cfg> ...]\n"
+          "       serve_driver --smoke [--metrics-out <metrics.json>]\n"
+          "\n"
+          "Submits one Tucker-decomposition job per parameter file to a\n"
+          "shared rahooi::serve::Scheduler and reports every outcome\n"
+          "(docs/SERVING.md). --smoke runs the deterministic multi-tenant\n"
+          "admission/fault/deadline/cache scenario used by the serve-smoke\n"
+          "ctest.\n\n%s",
+          io::param_help("serve").c_str());
+      return 0;
+    }
+    const std::string metrics_out =
+        examples::arg_value(argc, argv, "--metrics-out", "");
+    if (examples::has_flag(argc, argv, "--smoke")) {
+      return run_smoke(metrics_out);
+    }
+    const int pool = static_cast<int>(
+        std::stol(examples::arg_value(argc, argv, "--pool", "8")));
+    const int workers = static_cast<int>(
+        std::stol(examples::arg_value(argc, argv, "--workers", "2")));
+    const auto queue = static_cast<std::size_t>(
+        std::stol(examples::arg_value(argc, argv, "--queue", "32")));
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--pool" || arg == "--workers" || arg == "--queue" ||
+          arg == "--metrics-out") {
+        ++i;
+        continue;
+      }
+      if (!arg.empty() && arg[0] == '-') continue;
+      files.push_back(arg);
+    }
+    RAHOOI_REQUIRE(!files.empty(),
+                   "no parameter files given (serve_driver --help)");
+    return run_files(files, pool, workers, queue, metrics_out);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

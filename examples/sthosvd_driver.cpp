@@ -83,6 +83,14 @@ int run(const io::ParamFile& params, const std::string& metrics_out) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (examples::has_flag(argc, argv, "--help")) {
+    std::printf(
+        "usage: sthosvd_driver --parameter-file <file.cfg>\n"
+        "                      [--metrics-out <metrics.json>]\n\n"
+        "parameter keys (io::param_key_table):\n%s",
+        io::param_help("sthosvd").c_str());
+    return 0;
+  }
   try {
     const io::ParamFile params = examples::load_params(argc, argv);
     if (params.get_bool("Print options", false)) {

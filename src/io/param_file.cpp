@@ -133,4 +133,107 @@ void ParamFile::set(const std::string& key, const std::string& value) {
   values_[key] = value;
 }
 
+const std::vector<ParamKey>& param_key_table() {
+  // Canonical order: result-affecting keys first (the serve cache
+  // fingerprint walks the table in this order), then fault/runtime knobs,
+  // then pure input/output/reporting switches. Adding a key here is all
+  // that is needed for it to appear in every driver's --help.
+  static const std::vector<ParamKey> kTable{
+      // -- problem definition (all result-affecting) ----------------------
+      {"Global dims", "dims", "(required)", "hooi,sthosvd,serve", true,
+       "global tensor extents, e.g. \"100 100 100\""},
+      {"Processor grid dims", "ints", "(required; serve: elastic)",
+       "hooi,sthosvd,serve", true,
+       "per-mode processor counts; serve picks an elastic grid when absent"},
+      {"Dataset", "string", "synthetic", "hooi,sthosvd,serve", true,
+       "synthetic | miranda | hcci | sp surrogate generators"},
+      {"Input file", "string", "", "hooi,sthosvd,serve", true,
+       "read the tensor from this file instead of generating it"},
+      {"Construction Ranks", "dims", "(= Decomposition Ranks)",
+       "hooi,serve", true, "true ranks of the synthetic input"},
+      {"Decomposition Ranks", "dims", "(required)", "hooi,serve", true,
+       "target ranks (fixed-rank) or starting ranks (rank-adaptive)"},
+      {"Ranks", "dims", "(required)", "sthosvd,serve", true,
+       "STHOSVD truncation ranks (serve: Decomposition Ranks fallback)"},
+      {"Noise", "double", "1e-4", "hooi,sthosvd,serve", true,
+       "relative noise level of the synthetic input"},
+      {"Seed", "int", "1", "hooi,sthosvd,serve", true,
+       "counter-RNG seed for data generation and random factors"},
+      {"Single precision", "bool", "true", "hooi,sthosvd,serve", true,
+       "float (true) or double (false) elements"},
+      // -- solver configuration (all result-affecting) --------------------
+      {"SVD Method", "int", "0", "hooi,serve", true,
+       "LLSV backend: 0 Gram+EVD, 1 randomized, 2 subspace+QRCP, 3 Gaussian "
+       "sketch, 4 Khatri-Rao sketch, -1 auto (cost model)"},
+      {"Dimension Tree Memoization", "bool", "false", "hooi,serve", true,
+       "memoize partial TTM chains (HOOI-DT / HOSI-DT variants)"},
+      {"HOOI max iters", "int", "2", "hooi,serve", true,
+       "HOOI sweeps (fixed-rank) or RA outer iterations"},
+      {"HOOI-Adapt Threshold", "double", "0", "hooi,serve", true,
+       "eps of the error-specified problem; > 0 enables rank-adaptive HOOI"},
+      {"Rank growth factor", "double", "1.5", "hooi,serve", true,
+       "alpha of Alg. 3: per-iteration rank growth when eps is not met"},
+      {"RA Init", "string", "random", "hooi,serve", true,
+       "rank-adaptive start: random | sketched (randomized ST-HOSVD)"},
+      {"Sketch Oversample", "int", "8", "hooi,serve", true,
+       "extra sketch columns beyond the target rank (methods 3/4)"},
+      {"Sketch Min Cols", "int", "16", "hooi,serve", true,
+       "initial sketch width for eps-driven adaptive truncation"},
+      {"Sketch Growth", "double", "2.0", "hooi,serve", true,
+       "sketch-width growth factor when the tail-energy test fails"},
+      {"Sketch Safety", "double", "0.5", "hooi,serve", true,
+       "accept an adaptive rank only below safety * tau^2 tail energy"},
+      {"Sketch Deterministic", "bool", "false", "hooi,serve", true,
+       "bitwise grid-invariant fixed-point sketch apply path"},
+      {"SV Threshold", "double", "0", "sthosvd", true,
+       "error-specified STHOSVD threshold (0 = rank-specified)"},
+      {"Perform STHOSVD", "bool", "true", "sthosvd", true,
+       "artifact-compatibility switch; must be true"},
+      // -- fault injection (result-affecting: bitflip/kill change results) -
+      {"Fault plan", "string", "", "hooi,serve", true,
+       "deterministic fault injection, e.g. kill:sweep@3%1 "
+       "(docs/ROBUSTNESS.md; '%' aliases '#')"},
+      {"Fault seed", "int", "1", "hooi,serve", true,
+       "seed of the fault plan's random choices"},
+      // -- runtime / robustness knobs (do not change a successful result) --
+      {"Collective timeout ms", "double", "0", "hooi,serve", false,
+       "hang-watchdog deadline per collective (0 disables)"},
+      {"Checkpoint file", "string", "", "hooi", false,
+       "write a checkpoint after every sweep; resume with --restore"},
+      // -- serving-layer admission keys (docs/SERVING.md) ------------------
+      {"Serve priority", "string", "normal", "serve", false,
+       "admission priority: low | normal | high"},
+      {"Serve deadline s", "double", "0", "serve", false,
+       "per-job deadline in seconds from submit (0 = none)"},
+      // -- input/output and reporting (never result-affecting) -------------
+      {"Output file", "string", "", "hooi,sthosvd", false,
+       "write the compressed Tucker tensor here"},
+      {"Metrics file", "string", "", "hooi,sthosvd", false,
+       "enable metrics and write the flat JSON here (= --metrics-out)"},
+      {"Profile", "bool", "false", "hooi,sthosvd", false,
+       "trace the run with the span profiler (= --profile)"},
+      {"Trace file", "string", "trace.json", "hooi,sthosvd", false,
+       "Chrome trace_event output path for --profile"},
+      {"Print options", "bool", "false", "hooi,sthosvd", false,
+       "echo the parsed parameter file"},
+      {"Print timings", "bool", "false", "hooi,sthosvd", false,
+       "print the per-phase timing breakdown"},
+  };
+  return kTable;
+}
+
+std::string param_help(const std::string& scope) {
+  std::ostringstream os;
+  os << "Parameter file keys (\"Key = value\"; '#' starts a comment):\n";
+  for (const ParamKey& k : param_key_table()) {
+    const std::string scopes = std::string(",") + k.scope + ",";
+    if (scopes.find("," + scope + ",") == std::string::npos) continue;
+    std::string head = std::string("  ") + k.key + " <" + k.type + ">";
+    if (head.size() < 38) head.resize(38, ' ');
+    os << head << " " << k.help << "\n";
+    os << std::string(39, ' ') << "default: " << k.fallback << "\n";
+  }
+  return os.str();
+}
+
 }  // namespace rahooi::io

@@ -68,4 +68,36 @@ class ParamFile {
   std::vector<std::string> order_;
 };
 
+// ---------------------------------------------------------------------------
+// Parameter-key registry
+// ---------------------------------------------------------------------------
+
+/// One accepted parameter-file key. The table below is the single source of
+/// truth shared by (a) the drivers' --help output (param_help), and (b) the
+/// serving layer's result-cache fingerprint (serve::request_fingerprint
+/// hashes exactly the keys with `cache_key` set, in table order) — so the
+/// help text and the cache keying can never drift from each other or from
+/// the accepted keys.
+struct ParamKey {
+  const char* key;       ///< exact parameter-file key (case-sensitive)
+  const char* type;      ///< "bool", "int", "double", "dims", "ints", "string"
+  const char* fallback;  ///< rendered default ("(required)" when mandatory)
+  /// Comma-separated driver scopes accepting the key: "hooi", "sthosvd",
+  /// "serve" (the serve scheduler accepts the hooi solver keys too; scope
+  /// lists every surface that documents the key in its --help).
+  const char* scope;
+  /// True when the key changes the solve *result* (factors/core/ranks) and
+  /// therefore belongs to the serve result-cache fingerprint. Output paths,
+  /// print switches, and observability knobs are false.
+  bool cache_key;
+  const char* help;      ///< one-line description
+};
+
+/// The full key table, in canonical (fingerprint) order.
+const std::vector<ParamKey>& param_key_table();
+
+/// Rendered help text for one driver scope ("hooi", "sthosvd", "serve"):
+/// one aligned line per key with type, default, and description.
+std::string param_help(const std::string& scope);
+
 }  // namespace rahooi::io

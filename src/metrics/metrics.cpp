@@ -41,7 +41,33 @@ const char* counter_name(Counter c) {
       return "checkpoint_writes";
     case Counter::sketch_regrowths:
       return "sketch_regrowths";
+    case Counter::serve_submitted:
+      return "serve_submitted";
+    case Counter::serve_completed:
+      return "serve_completed";
+    case Counter::serve_cache_hits:
+      return "serve_cache_hits";
+    case Counter::serve_shed:
+      return "serve_shed";
+    case Counter::serve_deadline_misses:
+      return "serve_deadline_misses";
+    case Counter::serve_failed:
+      return "serve_failed";
     case Counter::count_:
+      break;
+  }
+  return "unknown";
+}
+
+const char* serve_stage_name(ServeStage s) {
+  switch (s) {
+    case ServeStage::queue:
+      return "queue";
+    case ServeStage::solve:
+      return "solve";
+    case ServeStage::total:
+      return "total";
+    case ServeStage::count_:
       break;
   }
   return "unknown";
@@ -61,6 +87,8 @@ void Registry::clear() {
   collectives_ = {};
   gauges_ = {};
   sketch_cols_ = {};
+  serve_queue_ = {};
+  serve_stages_ = {};
   counters_ = {};
   named_.clear();
   events_.clear();

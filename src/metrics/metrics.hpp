@@ -47,11 +47,27 @@ enum class Counter : int {
   solver_sweeps,      ///< completed HOOI sweeps
   checkpoint_writes,  ///< checkpoints saved
   sketch_regrowths,   ///< adaptive sketched-LLSV width regrowth rounds
+  // Serving-layer SLO counters (src/serve/, docs/SERVING.md). Mutated by the
+  // serve::Scheduler on its own registry under the scheduler mutex — the
+  // documented exception to the one-rank-thread ownership contract.
+  serve_submitted,        ///< jobs accepted by Scheduler::submit
+  serve_completed,        ///< jobs that ran a solve to completion
+  serve_cache_hits,       ///< jobs answered from the result cache
+  serve_shed,             ///< jobs load-shed (queue full / evicted / shutdown)
+  serve_deadline_misses,  ///< jobs expired before dispatch or overrun after
+  serve_failed,           ///< jobs whose solve threw (fault, bad request)
   count_
 };
 constexpr int kCounterCount = static_cast<int>(Counter::count_);
 
 const char* counter_name(Counter c);
+
+/// Latency stages of one serve job (docs/SERVING.md): queue = submit to
+/// dispatch, solve = dispatch to result, total = submit to result.
+enum class ServeStage : int { queue = 0, solve, total, count_ };
+constexpr int kServeStageCount = static_cast<int>(ServeStage::count_);
+
+const char* serve_stage_name(ServeStage s);
 
 // ---------------------------------------------------------------------------
 // Histogram / gauge primitives
@@ -186,6 +202,19 @@ class Registry {
   }
   const Gauge& sketch_cols() const { return sketch_cols_; }
 
+  // Serving-layer instrumentation (src/serve/): queue-depth gauge and
+  // per-stage job-latency histograms. Cold path — the scheduler mutates its
+  // own registry under the scheduler mutex, never from rank threads.
+  void serve_queue_add(double n = 1.0) { serve_queue_.add(n); }
+  void serve_queue_sub(double n = 1.0) { serve_queue_.sub(n); }
+  const Gauge& serve_queue() const { return serve_queue_; }
+  void record_serve_stage(ServeStage s, double seconds) {
+    serve_stages_[static_cast<std::size_t>(s)].record(seconds);
+  }
+  const Histogram& serve_stage(ServeStage s) const {
+    return serve_stages_[static_cast<std::size_t>(s)];
+  }
+
   // Fixed counters (hot path).
   void count(Counter c, std::uint64_t n = 1) {
     counters_[static_cast<std::size_t>(c)] += n;
@@ -209,6 +238,9 @@ class Registry {
   std::array<CollectiveMetrics, kCollectiveCount> collectives_{};
   std::array<Gauge, static_cast<std::size_t>(kMemScopeCount)> gauges_{};
   Gauge sketch_cols_{};
+  Gauge serve_queue_{};
+  std::array<Histogram, static_cast<std::size_t>(kServeStageCount)>
+      serve_stages_{};
   std::array<std::uint64_t, static_cast<std::size_t>(kCounterCount)>
       counters_{};
   std::map<std::string, double> named_;

@@ -121,6 +121,24 @@ std::vector<Sample> snapshot(const Registry& r) {
 
   add("sketch.cols.peak", r.sketch_cols().peak);
 
+  // Serving-layer samples (src/serve/): emitted only when the registry ever
+  // saw serve traffic, so solver-only snapshots are unchanged.
+  if (r.serve_queue().peak > 0.0) {
+    add("serve.queue.depth", r.serve_queue().live);
+    add("serve.queue.peak", r.serve_queue().peak);
+  }
+  for (int s = 0; s < kServeStageCount; ++s) {
+    const auto stage = static_cast<ServeStage>(s);
+    const Histogram& h = r.serve_stage(stage);
+    if (h.count == 0) continue;
+    const std::string labels =
+        std::string("{stage=\"") + serve_stage_name(stage) + "\"}";
+    add("serve.jobs" + labels, double(h.count));
+    add("serve.seconds.sum" + labels, h.sum);
+    add("serve.seconds.min" + labels, h.min);
+    add("serve.seconds.max" + labels, h.max);
+  }
+
   for (int c = 0; c < kCounterCount; ++c) {
     const auto counter = static_cast<Counter>(c);
     add(std::string("counter{name=\"") + counter_name(counter) + "\"}",

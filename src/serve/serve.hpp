@@ -1,0 +1,240 @@
+#pragma once
+// rahooi::serve — multi-tenant solve scheduler (docs/SERVING.md).
+//
+// Accepts many concurrent Tucker-decomposition jobs (in-memory SolveRequests
+// carrying the same parameter keys as the hooi_driver, or param files loaded
+// into one), runs them on a shared pool of rank threads that time-multiplexes
+// several comm::Runtime worlds, and returns serve::SolveReports. The layer
+// *wires* the existing substrates rather than rebuilding them:
+//
+//  * isolation/fault runtime — every job runs in its own Runtime::run world
+//    (fresh Monitor + Context per call), so a rank killed or a watchdog
+//    abort in one job unwinds that world completely (run() always joins all
+//    rank threads) and never poisons the pool or a neighbor job;
+//  * elastic sizing — when a request carries no "Processor grid dims", the
+//    model:: cost machinery picks the rank count and grid from the tensor
+//    shape and solver configuration (plan_ranks);
+//  * result cache — completed solves are cached under a fingerprint of the
+//    result-affecting parameter keys (io::param_key_table order), so a
+//    repeated request returns the *same* factors without running a world;
+//  * metrics — the scheduler owns one metrics::Registry with SLO counters
+//    (serve_submitted/completed/cache_hits/shed/deadline_misses/failed), a
+//    queue-depth gauge, per-stage latency histograms, and one "solve"
+//    telemetry event per finished job (docs/OBSERVABILITY.md).
+//
+// Admission: jobs queue in (priority desc, submission order) and dispatch
+// strictly head-of-line — a large job waiting for ranks is never overtaken
+// by a smaller one, so nothing starves. When the queue is full, a new job
+// is shed at submit unless it outranks a queued job, in which case the
+// lowest-priority (latest-submitted) such job is evicted instead. Shed and
+// deadline-missed jobs still produce well-formed reports — reported, never
+// dropped.
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/solve_report.hpp"
+#include "io/param_file.hpp"
+#include "metrics/metrics.hpp"
+#include "tensor/tucker_tensor.hpp"
+
+namespace rahooi::serve {
+
+using la::idx_t;
+
+// ---------------------------------------------------------------------------
+// Requests and reports
+// ---------------------------------------------------------------------------
+
+enum class Priority : int { low = 0, normal = 1, high = 2 };
+
+const char* priority_name(Priority p);
+
+/// Parses "low" | "normal" | "high"; throws precondition_error otherwise.
+Priority priority_from_name(const std::string& name);
+
+/// Terminal state of one job.
+enum class Outcome : int {
+  completed = 0,  ///< solve ran and produced a result
+  cache_hit,      ///< answered from the result cache (shares the factors)
+  shed,           ///< load-shed: queue full, evicted, or scheduler shutdown
+  deadline_miss,  ///< deadline expired before the job could be dispatched
+  failed,         ///< the solve threw (injected fault, watchdog, bad request)
+};
+
+const char* outcome_name(Outcome o);
+
+/// One decomposition job. `params` uses the hooi_driver parameter keys
+/// (io::param_key_table scope "serve"); priority/deadline may equivalently
+/// come from the "Serve priority" / "Serve deadline s" keys, which override
+/// the struct fields when present.
+struct SolveRequest {
+  std::string name;     ///< caller label, echoed in the report and events
+  io::ParamFile params;
+  Priority priority = Priority::normal;
+  double deadline_s = 0.0;  ///< seconds from submit; 0 = no deadline
+};
+
+/// The solved decomposition, shared between a completed report and any
+/// cache hits of the same fingerprint (hits return bitwise-identical
+/// factors because they alias this object).
+struct JobResult {
+  bool single = true;  ///< which member is populated
+  tensor::TuckerTensor<float> tucker_f;
+  tensor::TuckerTensor<double> tucker_d;
+};
+
+/// Final report of one job. Every submitted job gets exactly one, whatever
+/// its outcome — shed and deadline-missed jobs report too.
+struct SolveReport {
+  std::uint64_t id = 0;
+  std::string name;
+  Outcome outcome = Outcome::failed;
+  std::string error;          ///< failure/shed/miss cause ("" on success)
+  Priority priority = Priority::normal;
+  int ranks_used = 0;         ///< world size the solve ran on (0 if it never ran)
+  std::vector<int> grid;      ///< processor grid (planned, possibly elastic)
+  bool elastic_grid = false;  ///< grid chosen by the cost model, not the request
+  std::uint64_t fingerprint = 0;  ///< result-cache key component
+  bool deadline_overrun = false;  ///< completed, but after its deadline
+  std::vector<idx_t> tucker_ranks;
+  double rel_error = -1.0;
+  idx_t compressed_size = 0;
+  double queue_seconds = 0.0;  ///< submit -> dispatch (or terminal decision)
+  double solve_seconds = 0.0;  ///< dispatch -> result (0 for non-running outcomes)
+  double total_seconds = 0.0;  ///< submit -> report
+  core::SolveReport solve;     ///< degradation telemetry of the solve (rank 0)
+  std::shared_ptr<const JobResult> result;  ///< null unless ok()
+
+  bool ok() const {
+    return outcome == Outcome::completed || outcome == Outcome::cache_hit;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Elastic rank planning and cache fingerprinting
+// ---------------------------------------------------------------------------
+
+struct RankPlan {
+  int p = 1;
+  std::vector<int> grid;
+  bool elastic = false;  ///< true when the cost model chose the grid
+};
+
+/// Chooses the job's world size and grid. A request carrying "Processor
+/// grid dims" gets exactly that grid (rejected when it needs more ranks
+/// than the pool owns). Otherwise the model:: cost machinery evaluates the
+/// power-of-two world sizes up to `pool_ranks` — best grid per size, the
+/// roofline runtime model, plus a per-rank world-spawn overhead term — and
+/// picks the *smallest* world within 15% of the fastest, so small jobs
+/// leave ranks free for neighbors (multi-tenancy beats the last few percent
+/// of one job's speedup).
+RankPlan plan_ranks(const io::ParamFile& params, int pool_ranks);
+
+/// FNV-1a fingerprint of the result-affecting parameters: walks
+/// io::param_key_table in order and hashes every present key with
+/// `cache_key` set. Keys outside the table (and non-result keys like output
+/// paths or deadlines) do not perturb the fingerprint. Combined with eps
+/// ("HOOI-Adapt Threshold") and "SVD Method" being table entries, this is
+/// the (dataset fingerprint, eps, SvdMethod) cache key of docs/SERVING.md.
+std::uint64_t request_fingerprint(const io::ParamFile& params);
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+struct ServeOptions {
+  int pool_ranks = 8;   ///< total rank-thread budget shared by running jobs
+  int workers = 2;      ///< dispatcher threads (= max concurrently running jobs)
+  std::size_t max_queue = 32;      ///< queued-job cap before load shedding
+  std::size_t cache_capacity = 16; ///< LRU result-cache entries (0 disables)
+  /// Per-job collective hang-watchdog deadline (seconds; 0 = per-request
+  /// "Collective timeout ms" only). The larger of the two applies.
+  double collective_timeout_s = 0.0;
+  /// Collective-schedule divergence sanitizer for job worlds
+  /// (comm::RunOptions::comm_check semantics: -1 env/build default).
+  int comm_check = -1;
+  /// Construct with dispatch paused: submissions queue but nothing runs
+  /// until start(). Makes admission-order tests and saturation benches
+  /// deterministic.
+  bool start_paused = false;
+};
+
+class Scheduler {
+ public:
+  using JobId = std::uint64_t;
+
+  explicit Scheduler(ServeOptions options = {});
+  ~Scheduler();  ///< sheds queued jobs, finishes running ones, joins workers
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Admits (or sheds) a job; never blocks on solving. The returned id is
+  /// always valid to wait() on — a shed job yields its report immediately.
+  JobId submit(SolveRequest req);
+
+  /// Blocks until the job reaches a terminal outcome and returns its report.
+  SolveReport wait(JobId id);
+
+  /// Waits for every submitted job and returns all reports in submit order.
+  std::vector<SolveReport> drain();
+
+  /// Releases dispatch after ServeOptions::start_paused construction.
+  void start();
+
+  /// Snapshot of the scheduler's metrics registry (SLO counters, queue
+  /// gauge, latency histograms, per-job events), taken under the lock.
+  metrics::Registry metrics() const;
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Job {
+    JobId id = 0;
+    SolveRequest req;
+    RankPlan plan;
+    double submit_time = 0.0;
+    double deadline_s = 0.0;
+    bool done = false;
+    SolveReport report;
+  };
+
+  struct CacheEntry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const Job> source;  ///< completed job whose result is shared
+  };
+
+  void worker_loop();
+  /// Sorted insert by (priority desc, id asc).
+  void enqueue_locked(const std::shared_ptr<Job>& job);
+  void finish_locked(const std::shared_ptr<Job>& job, Outcome outcome,
+                     std::string error);
+  const Job* cache_find_locked(std::uint64_t key) const;
+  void cache_insert_locked(const std::shared_ptr<Job>& job);
+  /// Runs the solve outside the lock; fills job->report fields.
+  void run_job(Job& job);
+
+  ServeOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: queue/rank availability
+  std::condition_variable done_cv_;  ///< waiters: job completion
+  std::vector<std::thread> workers_;
+  std::map<JobId, std::shared_ptr<Job>> jobs_;
+  std::vector<std::shared_ptr<Job>> queue_;  ///< pending, priority-sorted
+  std::vector<CacheEntry> cache_;            ///< LRU order, front = oldest
+  metrics::Registry registry_;
+  JobId next_id_ = 0;
+  int free_ranks_ = 0;
+  std::uint64_t finished_seq_ = 0;  ///< event sweep index (completion order)
+  bool paused_ = false;
+  bool stopping_ = false;
+};
+
+}  // namespace rahooi::serve
