@@ -1,0 +1,349 @@
+// Chaos soak harness for the rahooi::serve scheduler's resilience layer
+// (docs/ROBUSTNESS.md "Serving resilience", docs/SERVING.md): one seeded,
+// fully deterministic scenario pushes 13 jobs through kill / delay /
+// bitflip / transient-burst fault plans, a checkpoint preemption, and
+// retry-with-resume, then asserts the hard invariants:
+//
+//   * zero hangs — every job reaches a terminal outcome under a 30 s
+//     collective watchdog (a parked world would TimeoutError, not hang);
+//   * every SolveReport is well-formed whatever its outcome (terminal
+//     outcome, result iff ok(), cause string iff not ok());
+//   * the preempted job and the killed-and-resumed jobs produce factors
+//     *bitwise identical* to uninterrupted reference solves (counter-based
+//     RNG + canonical-order reductions + RHC1 checkpoints);
+//   * the SLO counters (serve_retries / serve_resumes / serve_preemptions
+//     and friends) match the scenario's plan exactly — no silent extra
+//     retry, no unexplained resume;
+//   * job checkpoints are deleted once their job completes.
+//
+//   ./bench_chaos            exit 0 = all invariants hold
+//
+// Registered under the `serve-chaos` ctest label (tier-1 verify bucket).
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "io/param_file.hpp"
+#include "serve/serve.hpp"
+
+using namespace rahooi;
+
+namespace {
+
+int g_failures = 0;
+
+#define CHAOS_CHECK(cond, ...)                              \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      std::fprintf(stderr, "bench_chaos FAIL: " __VA_ARGS__); \
+      std::fprintf(stderr, "  [%s]\n", #cond);              \
+      ++g_failures;                                         \
+    }                                                       \
+  } while (0)
+
+io::ParamFile chaos_params(const std::string& grid, int seed,
+                           const std::string& extra) {
+  std::string text =
+      "Global dims = 16 16 16\n"
+      "Construction Ranks = 3 3 3\n"
+      "Decomposition Ranks = 3 3 3\n"
+      "HOOI max iters = 3\n"
+      "Processor grid dims = " + grid + "\n"
+      "Seed = " + std::to_string(seed) + "\n";
+  text += extra;  // duplicate keys: the later line wins
+  return io::ParamFile::parse(text);
+}
+
+bool path_exists(const std::string& p) {
+  std::error_code ec;
+  return std::filesystem::exists(p, ec);
+}
+
+/// Every report must be well-formed whatever happened to its job.
+void check_well_formed(const serve::SolveReport& r) {
+  CHAOS_CHECK(r.id != 0, "%s: no id\n", r.name.c_str());
+  if (r.ok()) {
+    CHAOS_CHECK(r.result != nullptr, "%s: ok() but no result\n",
+                r.name.c_str());
+    CHAOS_CHECK(r.error.empty(), "%s: ok() but error '%s'\n", r.name.c_str(),
+                r.error.c_str());
+  } else {
+    CHAOS_CHECK(r.result == nullptr, "%s: failed but carries a result\n",
+                r.name.c_str());
+    CHAOS_CHECK(!r.error.empty(), "%s: failed without a cause\n",
+                r.name.c_str());
+  }
+  CHAOS_CHECK(r.total_seconds >= 0.0 && r.queue_seconds >= 0.0 &&
+                  r.solve_seconds >= 0.0,
+              "%s: negative stage seconds\n", r.name.c_str());
+}
+
+/// Bitwise comparison of two solved decompositions (single precision —
+/// the scenario's default). Exact ==, no tolerance: resumed solves replay
+/// the uninterrupted arithmetic or they don't.
+void check_bitwise(const serve::SolveReport& got,
+                   const serve::SolveReport& want, const char* label) {
+  CHAOS_CHECK(got.result != nullptr && want.result != nullptr,
+              "%s: missing result for bitwise check\n", label);
+  if (got.result == nullptr || want.result == nullptr) return;
+  const auto& a = got.result->tucker_f;
+  const auto& b = want.result->tucker_f;
+  if (a.ranks() != b.ranks()) {
+    CHAOS_CHECK(false, "%s: rank mismatch\n", label);
+    return;
+  }
+  for (la::idx_t i = 0; i < b.core.size(); ++i) {
+    if (a.core.data()[i] != b.core.data()[i]) {
+      CHAOS_CHECK(false, "%s: core differs at entry %lld\n", label,
+                  static_cast<long long>(i));
+      return;
+    }
+  }
+  for (std::size_t j = 0; j < b.factors.size(); ++j) {
+    for (la::idx_t i = 0; i < b.factors[j].size(); ++i) {
+      if (a.factors[j].data()[i] != b.factors[j].data()[i]) {
+        CHAOS_CHECK(false, "%s: factor %zu differs at entry %lld\n", label, j,
+                    static_cast<long long>(i));
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  // Pid-unique scratch dir: a manual bench run must not race a concurrent
+  // ctest instance (both remove_all the dir and share checkpoint names).
+  const std::string ckpt_dir = "chaos_ckpt." + std::to_string(::getpid());
+  std::error_code ec;
+  std::filesystem::remove_all(ckpt_dir, ec);
+  std::filesystem::create_directories(ckpt_dir, ec);
+
+  serve::ServeOptions opts;
+  opts.pool_ranks = 2;
+  opts.workers = 2;
+  opts.cache_capacity = 0;      // every solve runs a world: counters stay exact
+  opts.comm_check = 1;          // sanitize every job world
+  opts.collective_timeout_s = 30.0;  // hang watchdog: a parked world aborts
+  opts.checkpoint_dir = ckpt_dir;
+  serve::Scheduler sched(opts);
+
+  const double t0 = stats::now();
+
+  // --- Phase 1: checkpoint preemption -----------------------------------
+  // The low-priority victim owns the whole pool; once its first sweep
+  // checkpoint is on disk, a high-priority arrival forces it to
+  // checkpoint-and-yield, run the urgent job, then resume.
+  const io::ParamFile victim_params = chaos_params(
+      // Enough sweeps that the victim cannot drain before the urgent job's
+      // preempt request lands, even on a loaded parallel-ctest machine; in
+      // the normal case it yields at the first post-arrival sweep boundary.
+      "1 1 2", 3, "Global dims = 24 24 24\nHOOI max iters = 2000\n");
+  const auto victim = sched.submit(
+      {"victim", victim_params, serve::Priority::low, 0.0});
+  const std::string victim_ckpt = ckpt_dir + "/job-1.rhk";
+  while (!path_exists(victim_ckpt)) {
+    if (stats::now() - t0 > 60.0) {
+      std::fprintf(stderr, "bench_chaos FAIL: victim never checkpointed\n");
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto urgent = sched.submit(
+      {"urgent", chaos_params("1 1 1", 4, ""), serve::Priority::high, 0.0});
+  const serve::SolveReport urgent_rep = sched.wait(urgent);
+  const serve::SolveReport victim_rep = sched.wait(victim);
+
+  CHAOS_CHECK(urgent_rep.outcome == serve::Outcome::completed,
+              "urgent: %s\n", urgent_rep.error.c_str());
+  CHAOS_CHECK(victim_rep.outcome == serve::Outcome::completed,
+              "victim: %s\n", victim_rep.error.c_str());
+  CHAOS_CHECK(victim_rep.preemptions == 1,
+              "victim preempted %d times, planned exactly 1\n",
+              victim_rep.preemptions);
+  CHAOS_CHECK(victim_rep.resumes == 1, "victim resumed %d times, planned 1\n",
+              victim_rep.resumes);
+  CHAOS_CHECK(victim_rep.attempts == 1,
+              "victim consumed %d attempts — preemption must not burn the "
+              "retry budget\n",
+              victim_rep.attempts);
+
+  // --- Phase 2: fault soak ----------------------------------------------
+  // Each job carries its own job-scoped plan; rule counters live on the job
+  // so the planned fire counts hold across its retries and nothing can
+  // leak into a concurrent neighbor's world.
+  struct ChaosJob {
+    const char* name;
+    io::ParamFile params;
+    serve::Outcome expect;
+    int expect_attempts;
+    int expect_resumes;
+  };
+  std::vector<ChaosJob> table;
+  // Killed on the *second* sweep (after the sweep-1 checkpoint): the retry
+  // resumes mid-solve and the rule, already fired, stays quiet.
+  table.push_back({"kill-resume",
+                   chaos_params("1 1 1", 5,
+                                "Fault plan = kill:sweep@0%1\n"
+                                "Serve max attempts = 3\n"),
+                   serve::Outcome::completed, 2, 1});
+  // Killed on the *first* sweep, before any checkpoint: the retry starts
+  // from scratch (fresh-start recovery, no resume).
+  table.push_back({"kill-fresh",
+                   chaos_params("1 1 1", 6,
+                                "Fault plan = kill:sweep@0%0\n"
+                                "Serve max attempts = 2\n"),
+                   serve::Outcome::completed, 2, 0});
+  // Kill fires on every attempt: the retry budget (2) exhausts and the job
+  // reports failed — retried, then contained.
+  table.push_back({"doomed",
+                   chaos_params("1 1 1", 7,
+                                "Fault plan = kill:sweep@0*9\n"
+                                "Serve max attempts = 2\n"),
+                   serve::Outcome::failed, 2, 0});
+  // Transient burst longer than with_retry's in-world budget (4): attempt 1
+  // dies after 4 in-collective retries, attempt 2 absorbs the remaining 2
+  // fires inside with_retry and completes. Exercises both retry layers.
+  table.push_back({"burst",
+                   chaos_params("1 1 2", 8,
+                                "Fault plan = transient:allreduce@0*6\n"
+                                "Serve max attempts = 2\n"),
+                   serve::Outcome::completed, 2, 0});
+  // Rank-adaptive solve killed on its second iteration: resumes from the
+  // RHC1 v2 rank-adaptive checkpoint (ranks + factors + adaptation state).
+  table.push_back({"ra-resume",
+                   chaos_params("1 1 1", 9,
+                                "HOOI-Adapt Threshold = 0.25\n"
+                                "Fault plan = kill:sweep@0%1\n"
+                                "Serve max attempts = 2\n"),
+                   serve::Outcome::completed, 2, 1});
+  // Straggler injection: three delayed collectives, no failure.
+  table.push_back({"delay",
+                   chaos_params("1 1 2", 10,
+                                "Fault plan = delay:allreduce@0*3=2\n"),
+                   serve::Outcome::completed, 1, 0});
+  // Payload corruption: one flipped bit in the first allreduce. The solve
+  // absorbs it (orthonormalization scrubs the perturbed subspace) — what
+  // matters here is determinism: no retry, no hang, a terminal report.
+  table.push_back({"bitflip",
+                   chaos_params("1 1 2", 11,
+                                "Fault plan = bitflip:allreduce@0%0\n"),
+                   serve::Outcome::completed, 1, 0});
+  table.push_back({"clean-1", chaos_params("1 1 1", 12, ""),
+                   serve::Outcome::completed, 1, 0});
+  table.push_back({"clean-2", chaos_params("1 1 2", 13, ""),
+                   serve::Outcome::completed, 1, 0});
+  table.push_back({"clean-3", chaos_params("1 1 1", 14, ""),
+                   serve::Outcome::completed, 1, 0});
+  table.push_back({"clean-4", chaos_params("1 1 2", 15, ""),
+                   serve::Outcome::completed, 1, 0});
+
+  std::vector<serve::Scheduler::JobId> ids;
+  for (const ChaosJob& j : table) {
+    ids.push_back(sched.submit({j.name, j.params, serve::Priority::normal,
+                                0.0}));
+  }
+  std::vector<serve::SolveReport> reports;
+  serve::SolveReport kill_resume_rep, ra_resume_rep;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const serve::SolveReport r = sched.wait(ids[i]);
+    const ChaosJob& j = table[i];
+    CHAOS_CHECK(r.outcome == j.expect, "%s: outcome %s (planned %s): %s\n",
+                j.name, serve::outcome_name(r.outcome),
+                serve::outcome_name(j.expect), r.error.c_str());
+    CHAOS_CHECK(r.attempts == j.expect_attempts,
+                "%s: %d attempts, planned %d\n", j.name, r.attempts,
+                j.expect_attempts);
+    CHAOS_CHECK(r.resumes == j.expect_resumes, "%s: %d resumes, planned %d\n",
+                j.name, r.resumes, j.expect_resumes);
+    if (std::string(j.name) == "kill-resume") kill_resume_rep = r;
+    if (std::string(j.name) == "ra-resume") ra_resume_rep = r;
+    reports.push_back(r);
+  }
+  check_well_formed(urgent_rep);
+  check_well_formed(victim_rep);
+  for (const serve::SolveReport& r : reports) check_well_formed(r);
+
+  // --- Phase 3: resumed == uninterrupted, bitwise -----------------------
+  // Reference solves of the preempted and the killed-and-resumed jobs in a
+  // fresh, fault-free scheduler. The resumed runs must replay the exact
+  // arithmetic of the uninterrupted ones.
+  {
+    serve::ServeOptions ref_opts;
+    ref_opts.pool_ranks = 2;
+    ref_opts.workers = 1;
+    ref_opts.comm_check = 1;
+    ref_opts.collective_timeout_s = 30.0;
+    serve::Scheduler ref(ref_opts);
+    const serve::SolveReport victim_ref = ref.wait(ref.submit(
+        {"victim-ref", victim_params, serve::Priority::normal, 0.0}));
+    const serve::SolveReport kill_ref = ref.wait(ref.submit(
+        {"kill-resume-ref", chaos_params("1 1 1", 5, ""),
+         serve::Priority::normal, 0.0}));
+    const serve::SolveReport ra_ref = ref.wait(ref.submit(
+        {"ra-resume-ref",
+         chaos_params("1 1 1", 9, "HOOI-Adapt Threshold = 0.25\n"),
+         serve::Priority::normal, 0.0}));
+    check_bitwise(victim_rep, victim_ref, "preempted victim");
+    check_bitwise(kill_resume_rep, kill_ref, "kill-resume");
+    check_bitwise(ra_resume_rep, ra_ref, "ra-resume");
+  }
+
+  // --- SLO counters: exactly the plan, nothing unexplained ---------------
+  const metrics::Registry reg = sched.metrics();
+  using metrics::Counter;
+  const auto expect_counter = [&](Counter c, std::uint64_t want) {
+    const std::uint64_t got = reg.counter(c);
+    CHAOS_CHECK(got == want, "counter %s = %llu, planned %llu\n",
+                metrics::counter_name(c),
+                static_cast<unsigned long long>(got),
+                static_cast<unsigned long long>(want));
+  };
+  expect_counter(Counter::serve_submitted, 13);
+  expect_counter(Counter::serve_completed, 12);
+  expect_counter(Counter::serve_failed, 1);          // doomed
+  expect_counter(Counter::serve_retries, 5);         // kill-resume, kill-fresh,
+                                                     // doomed, burst, ra-resume
+  expect_counter(Counter::serve_resumes, 3);         // victim, kill-resume,
+                                                     // ra-resume
+  expect_counter(Counter::serve_preemptions, 1);     // victim
+  expect_counter(Counter::serve_cache_hits, 0);
+  expect_counter(Counter::serve_shed, 0);
+  expect_counter(Counter::serve_deadline_misses, 0);
+
+  // Checkpoints of completed jobs are deleted; failed `doomed` never got
+  // far enough to write one — the scratch directory drains empty.
+  std::size_t leftover = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(ckpt_dir, ec)) {
+    std::fprintf(stderr, "bench_chaos FAIL: leftover checkpoint %s\n",
+                 entry.path().string().c_str());
+    ++leftover;
+  }
+  CHAOS_CHECK(leftover == 0, "%zu leftover checkpoint(s)\n", leftover);
+  std::filesystem::remove_all(ckpt_dir, ec);
+
+  const double wall = stats::now() - t0;
+  std::printf(
+      "bench_chaos: 13 jobs (kill/delay/bitflip/burst + 1 preemption), "
+      "%llu retries, %llu resumes, %llu preemption(s), 0 hangs in %.2fs — "
+      "%s\n",
+      static_cast<unsigned long long>(reg.counter(Counter::serve_retries)),
+      static_cast<unsigned long long>(reg.counter(Counter::serve_resumes)),
+      static_cast<unsigned long long>(reg.counter(Counter::serve_preemptions)),
+      wall, g_failures == 0 ? "PASS" : "FAIL");
+  if (g_failures != 0) {
+    std::fprintf(stderr, "bench_chaos: %d invariant violation(s)\n",
+                 g_failures);
+    return 1;
+  }
+  return 0;
+}

@@ -33,10 +33,10 @@
 // JSON file, plus a JSONL solver-telemetry event log at the sibling
 // path — see docs/OBSERVABILITY.md.
 //
-// --restore resumes a fixed-rank solve from the "Checkpoint file" written
-// by a previous (interrupted) run; "Collective timeout ms" arms the hang
-// watchdog and "Fault plan" installs deterministic fault injection — see
-// docs/ROBUSTNESS.md.
+// --restore resumes a solve (fixed-rank or rank-adaptive) from the
+// "Checkpoint file" written by a previous (interrupted) run; "Collective
+// timeout ms" arms the hang watchdog and "Fault plan" installs
+// deterministic fault injection — see docs/ROBUSTNESS.md.
 //
 // Example configuration (artifact appendix B.1):
 //   Print options = true
@@ -128,9 +128,6 @@ int run(const io::ParamFile& params, bool profile, bool restore,
     RAHOOI_REQUIRE(!hooi_opts.checkpoint_path.empty(),
                    "--restore needs a 'Checkpoint file' parameter naming the "
                    "checkpoint to resume from");
-    RAHOOI_REQUIRE(adapt == 0.0,
-                   "--restore supports fixed-rank HOOI only; rank-adaptive "
-                   "checkpointing is not implemented yet");
     hooi_opts.restore_path = hooi_opts.checkpoint_path;
   }
   const bool timings = params.get_bool("Print timings", false);
@@ -188,6 +185,12 @@ int run(const io::ParamFile& params, bool profile, bool restore,
                         res.report.to_string().c_str());
           }
           if (world.rank() == 0) {
+            if (restore) {
+              std::printf("restored from %s (%zu total iterations incl. the "
+                          "checkpointed ones)\n",
+                          hooi_opts.restore_path.c_str(),
+                          res.iterations.size());
+            }
             for (const auto& it : res.iterations) {
               std::printf("iteration %d: error %.4e after ranks %s -> %s\n",
                           it.index, it.rel_error,

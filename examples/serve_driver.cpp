@@ -96,8 +96,8 @@ int run_smoke(const std::string& metrics_out) {
                         serve::Priority::high, 0.0};
   serve::SolveRequest b{"beta", smoke_params("1 1 2", "Seed = 8\n"),
                         serve::Priority::normal, 0.0};
-  // The faulted job is the only world in this batch with 4 ranks, so its
-  // process-wide "kill rank 3" plan cannot touch a neighbor (ranks 0-1).
+  // The kill plan is job-scoped (installed on this job's world threads
+  // only), so rank indices in neighboring worlds are out of its reach.
   serve::SolveRequest f{"faulty",
                         smoke_params("1 2 2", "Fault plan = kill:sweep@3%0\n"),
                         serve::Priority::normal, 0.0};

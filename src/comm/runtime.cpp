@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "fault/fault.hpp"
 
 namespace rahooi::comm {
 
@@ -103,6 +104,10 @@ void Runtime::run(int p, const std::function<void(Comm&)>& fn,
         metrics_store[r].set_rank(r);
         metered.emplace(metrics_store[r]);
       }
+      std::optional<fault::ScopedThreadPlan> faulted;
+      if (options.fault_plan != nullptr) {
+        faulted.emplace(*options.fault_plan);
+      }
       Comm world(ctx, r);
       try {
         fn(world);
@@ -167,7 +172,20 @@ void Runtime::run(int p, const std::function<void(Comm&)>& fn,
     }
   }
 
-  if (failed.size() > 1) {
+  // The stderr report explains *asymmetric* death — who failed first and
+  // who got dragged down. When every rank failed genuinely (no secondary
+  // aborts, no timeouts) with one identical message, the unwind was
+  // synchronized — a replicated precondition failure or a cooperative
+  // preemption yield — and the rethrown exception already says everything.
+  bool synchronized = static_cast<int>(failed.size()) == p;
+  for (const int r : failed) {
+    if (classified[r].is_aborted || classified[r].is_timeout ||
+        classified[r].what != classified[root].what) {
+      synchronized = false;
+      break;
+    }
+  }
+  if (failed.size() > 1 && !synchronized) {
     std::fprintf(stderr, "rahooi: run aborted, %zu of %d ranks failed:\n",
                  failed.size(), p);
     for (const int r : failed) {

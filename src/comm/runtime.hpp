@@ -12,6 +12,10 @@
 
 #include "comm/comm.hpp"
 
+namespace rahooi::fault {
+class Plan;
+}  // namespace rahooi::fault
+
 namespace rahooi::comm {
 
 /// Knobs for a fault-tolerant Runtime::run.
@@ -38,6 +42,16 @@ struct RunOptions {
   /// the `hooi_driver --metrics-out` entry point. Null (default) keeps
   /// metrics off: every instrument site then costs one thread-local load.
   std::vector<metrics::Registry>* rank_metrics = nullptr;
+
+  /// When non-null, a fault plan scoped to *this world*: each rank thread
+  /// gets it installed via fault::ScopedThreadPlan, shadowing any
+  /// process-wide ScopedPlan, so concurrent worlds with different plans
+  /// never cross-inject (the serve scheduler's per-job isolation,
+  /// DESIGN.md §13). The Plan handle is shared across the rank threads —
+  /// rule hit counters span the world and persist across runs reusing the
+  /// same Plan (retry attempts see prior attempts' counts). The pointee
+  /// must outlive run().
+  const fault::Plan* fault_plan = nullptr;
 };
 
 class Runtime {

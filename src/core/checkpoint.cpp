@@ -1,5 +1,8 @@
 #include "core/checkpoint.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -11,7 +14,9 @@ namespace rahooi::core {
 namespace {
 
 constexpr std::uint32_t kCheckpointMagic = 0x31434852;  // "RHC1"
-constexpr std::uint32_t kCheckpointVersion = 1;
+// Version 2 adds the solver-kind field and the rank-adaptive trailer;
+// version-1 files (fixed-rank hooi, PR 3) still load.
+constexpr std::uint32_t kCheckpointVersion = 2;
 
 template <typename T>
 constexpr std::uint32_t element_kind() {
@@ -85,6 +90,7 @@ class Reader {
 template <typename T>
 std::vector<char> serialize(const SweepCheckpoint<T>& ck) {
   Writer w;
+  w.put(static_cast<std::uint32_t>(ck.kind));
   w.put(element_kind<T>());
   w.put(static_cast<std::uint32_t>(ck.ranks.size()));
   w.put(ck.seed);
@@ -97,17 +103,39 @@ std::vector<char> serialize(const SweepCheckpoint<T>& ck) {
   w.put_block(ck.error_history.data(),
               static_cast<std::int64_t>(ck.error_history.size()));
   for (const auto& u : ck.factors) w.put_block(u.data(), u.size());
+  if (ck.kind == CheckpointKind::rank_adaptive) {
+    w.put(static_cast<std::uint32_t>(ck.ra_satisfied ? 1 : 0));
+    w.put(ck.ra_best_rel_error);
+    w.put(ck.ra_best_size);
+    w.put(ck.ra_last_rel_error);
+    w.put(ck.ra_last_size);
+    if (ck.ra_satisfied) {
+      for (int j = 0; j < ck.best.core.ndims(); ++j) {
+        w.put(static_cast<std::int64_t>(ck.best.core.dim(j)));
+      }
+      w.put_block(ck.best.core.data(), ck.best.core.size());
+      for (const auto& u : ck.best.factors) w.put_block(u.data(), u.size());
+    }
+  }
   return w.bytes();
 }
 
 template <typename T>
-SweepCheckpoint<T> deserialize(Reader& r) {
+SweepCheckpoint<T> deserialize(Reader& r, std::uint32_t version) {
+  SweepCheckpoint<T> ck;
+  if (version >= 2) {
+    const auto kind = r.get<std::uint32_t>();
+    if (kind != static_cast<std::uint32_t>(CheckpointKind::hooi) &&
+        kind != static_cast<std::uint32_t>(CheckpointKind::rank_adaptive)) {
+      throw checkpoint_error("corrupt checkpoint solver kind");
+    }
+    ck.kind = static_cast<CheckpointKind>(kind);
+  }
   if (r.get<std::uint32_t>() != element_kind<T>()) {
     throw checkpoint_error("checkpoint element type mismatch");
   }
   const std::uint32_t d = r.get<std::uint32_t>();
   if (d < 1 || d > 16) throw checkpoint_error("corrupt checkpoint header");
-  SweepCheckpoint<T> ck;
   ck.seed = r.get<std::uint64_t>();
   ck.sweeps_done = r.get<std::int64_t>();
   if (ck.sweeps_done < 0) throw checkpoint_error("corrupt checkpoint header");
@@ -131,6 +159,29 @@ SweepCheckpoint<T> deserialize(Reader& r) {
     r.get_block(u.data(), u.size());
     ck.factors.push_back(std::move(u));
   }
+  if (ck.kind == CheckpointKind::rank_adaptive) {
+    ck.ra_satisfied = r.get<std::uint32_t>() != 0;
+    ck.ra_best_rel_error = r.get<double>();
+    ck.ra_best_size = r.get<std::int64_t>();
+    ck.ra_last_rel_error = r.get<double>();
+    ck.ra_last_size = r.get<std::int64_t>();
+    if (ck.ra_satisfied) {
+      std::vector<la::idx_t> core_dims(d);
+      for (std::uint32_t j = 0; j < d; ++j) {
+        core_dims[j] = r.get<std::int64_t>();
+        if (core_dims[j] < 1 || core_dims[j] > dims[j]) {
+          throw checkpoint_error("corrupt checkpoint core dimensions");
+        }
+      }
+      ck.best.core = tensor::Tensor<T>(core_dims);
+      r.get_block(ck.best.core.data(), ck.best.core.size());
+      for (std::uint32_t j = 0; j < d; ++j) {
+        la::Matrix<T> u(dims[j], core_dims[j]);
+        r.get_block(u.data(), u.size());
+        ck.best.factors.push_back(std::move(u));
+      }
+    }
+  }
   return ck;
 }
 
@@ -149,7 +200,15 @@ void save_checkpoint(const std::string& path, const SweepCheckpoint<T>& ck) {
   }
   const std::uint64_t checksum = fnv1a64(payload);
 
-  const std::string tmp = path + ".tmp";
+  // Unique staging suffix: concurrent jobs (serve scheduler worlds, or
+  // parallel ctest processes) checkpointing into one directory must never
+  // share a tmp file — a shared "<path>.tmp" would race write/rename the
+  // same way the PipelineSweep tests race a shared output path. The pid
+  // separates processes, the counter separates threads within one.
+  static std::atomic<std::uint64_t> tmp_counter{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(tmp_counter.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out.good()) {
@@ -187,7 +246,7 @@ SweepCheckpoint<T> load_checkpoint(const std::string& path) {
   if (!in.good() || magic != kCheckpointMagic) {
     throw checkpoint_error("not a rahooi checkpoint: " + path);
   }
-  if (version != kCheckpointVersion) {
+  if (version < 1 || version > kCheckpointVersion) {
     throw checkpoint_error("unsupported checkpoint version " +
                            std::to_string(version) + ": " + path);
   }
@@ -198,7 +257,7 @@ SweepCheckpoint<T> load_checkpoint(const std::string& path) {
                            path);
   }
   Reader r(std::move(payload));
-  SweepCheckpoint<T> ck = deserialize<T>(r);
+  SweepCheckpoint<T> ck = deserialize<T>(r, version);
   if (!r.exhausted()) {
     throw checkpoint_error("checkpoint has trailing bytes: " + path);
   }

@@ -1,23 +1,37 @@
 #pragma once
-// Checkpoint/restart for HOOI sweeps (docs/ROBUSTNESS.md).
+// Checkpoint/restart for HOOI sweeps and rank-adaptive iterations
+// (docs/ROBUSTNESS.md).
 //
-// A checkpoint captures everything a sweep loop needs to resume: the
+// A checkpoint captures everything a solver loop needs to resume: the
 // replicated factor matrices, the target ranks, the number of completed
-// sweeps, the RNG seed, and the error history. Because the library's RNG is
-// counter-based (the "state" *is* the seed) and allreduce sums in canonical
-// rank order, a restored run replays the remaining sweeps bitwise
-// identically to the uninterrupted solve.
+// sweeps, the RNG seed, and the error history — plus, for
+// rank_adaptive_hooi(), the adaptation state (current rank trajectory and
+// the best satisfied decomposition so far). Because the library's RNG is
+// counter-based (the "state" *is* the seed), the growth seeds are
+// iteration-indexed, and allreduce sums in canonical rank order, a restored
+// run replays the remaining sweeps bitwise identically to the uninterrupted
+// solve.
 //
 // On-disk format (native endianness, like io/tensor_io):
-//   u32 magic "RHC1" | u32 version (1) | u64 checksum | payload
+//   u32 magic "RHC1" | u32 version (2) | u64 checksum | payload
 // where checksum is FNV-1a 64 over the payload bytes and the payload is
+//   u32 solver kind (1 = fixed-rank hooi, 2 = rank_adaptive)   [v2 only]
 //   u32 element kind (1 = float32, 2 = float64)
 //   u32 ndims | u64 seed | i64 sweeps_done
 //   per mode: i64 n_j, i64 r_j
 //   i64 history length, f64 history entries
 //   per mode: factor data, column-major, n_j * r_j elements
-// Writes are atomic: the file is written to "<path>.tmp" and renamed, so a
-// crash mid-write can never leave a half-written checkpoint at `path`.
+//   if solver kind == rank_adaptive:                           [v2 only]
+//     u32 satisfied | f64 best rel_error | i64 best compressed_size
+//     f64 last iteration rel_error | i64 last iteration compressed_size
+//     if satisfied: per mode i64 best core dim, best core data,
+//                   per mode best factor data (n_j * best_dim_j)
+// Version-1 files (no solver-kind field, no adaptation trailer) still load
+// as fixed-rank checkpoints. Writes are atomic: the file is written to a
+// uniquely suffixed "<path>.tmp.<pid>.<n>" and renamed, so a crash
+// mid-write can never leave a half-written checkpoint at `path`, and
+// concurrent jobs checkpointing different paths in one directory cannot
+// collide on the staging file.
 
 #include <cstdint>
 #include <stdexcept>
@@ -25,6 +39,7 @@
 #include <vector>
 
 #include "la/matrix.hpp"
+#include "tensor/tucker_tensor.hpp"
 
 namespace rahooi::core {
 
@@ -35,24 +50,48 @@ class checkpoint_error : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Sweep-loop state saved after each completed sweep.
+/// Thrown (on every rank, after a bcast-agreed decision) when a solver loop
+/// honors a cooperative checkpoint-and-yield request
+/// (HooiOptions::yield_flag): the sweep that just finished is already on
+/// disk, no collective is torn mid-post, and the world unwinds cleanly so
+/// the scheduler can requeue the job to resume later (docs/SERVING.md).
+class PreemptedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Which solver loop produced a checkpoint.
+enum class CheckpointKind : std::uint32_t { hooi = 1, rank_adaptive = 2 };
+
+/// Solver-loop state saved after each completed sweep (hooi) or iteration
+/// (rank_adaptive_hooi; the ra_* fields and `best` hold the adaptation
+/// state, with `best` meaningful only when `ra_satisfied`).
 template <typename T>
 struct SweepCheckpoint {
+  CheckpointKind kind = CheckpointKind::hooi;
   std::int64_t sweeps_done = 0;  ///< completed sweeps (resume at this index)
   std::uint64_t seed = 0;        ///< HooiOptions::seed of the producing run
   std::vector<la::idx_t> ranks;
   std::vector<la::Matrix<T>> factors;   ///< replicated, one per mode
   std::vector<double> error_history;    ///< relative error per sweep so far
+
+  // Rank-adaptive extension (kind == rank_adaptive).
+  bool ra_satisfied = false;          ///< tolerance met at least once
+  double ra_best_rel_error = 0.0;     ///< rel_error of `best`
+  std::int64_t ra_best_size = 0;      ///< compressed_size of `best`
+  double ra_last_rel_error = 0.0;     ///< last iteration's sweep error
+  std::int64_t ra_last_size = 0;      ///< last iteration's compressed size
+  tensor::TuckerTensor<T> best;       ///< best satisfied decomposition
 };
 
-/// Writes `ck` atomically (tmp + rename). Throws checkpoint_error on I/O
-/// failure.
+/// Writes `ck` atomically (unique tmp + rename). Throws checkpoint_error on
+/// I/O failure.
 template <typename T>
 void save_checkpoint(const std::string& path, const SweepCheckpoint<T>& ck);
 
-/// Reads and verifies a checkpoint. Throws checkpoint_error when the file
-/// is missing, truncated, fails its checksum, or holds the wrong element
-/// type.
+/// Reads and verifies a checkpoint (version 1 or 2). Throws
+/// checkpoint_error when the file is missing, truncated, fails its
+/// checksum, or holds the wrong element type.
 template <typename T>
 SweepCheckpoint<T> load_checkpoint(const std::string& path);
 

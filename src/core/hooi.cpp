@@ -337,6 +337,8 @@ HooiResult<T> hooi(const dist::DistTensor<T>& x,
     // Every rank reads the (replicated) checkpoint itself — no broadcast
     // needed, and a corrupt file fails identically everywhere.
     SweepCheckpoint<T> ck = load_checkpoint<T>(options.restore_path);
+    RAHOOI_REQUIRE(ck.kind == CheckpointKind::hooi,
+                   "restore: checkpoint was written by rank_adaptive_hooi");
     RAHOOI_REQUIRE(ck.seed == options.seed,
                    "restore: checkpoint seed differs from options.seed");
     RAHOOI_REQUIRE(ck.ranks == ranks,
@@ -360,6 +362,21 @@ HooiResult<T> hooi(const dist::DistTensor<T>& x,
   }
 
   for (int iter = start; iter < options.max_iters; ++iter) {
+    // Cooperative checkpoint-and-yield (serve preemption): rank 0 reads the
+    // scheduler's flag and broadcasts the verdict, so every rank takes the
+    // same exit at the same sweep boundary — the previous sweep's
+    // checkpoint is already on disk and no collective is torn mid-post.
+    if (options.yield_flag != nullptr) {
+      int yield = (x.grid().world().rank() == 0 &&
+                   options.yield_flag->load(std::memory_order_acquire) != 0)
+                      ? 1
+                      : 0;
+      x.grid().world().bcast(&yield, 1, 0);
+      if (yield != 0) {
+        throw PreemptedError("hooi yielded after sweep " +
+                             std::to_string(iter));
+      }
+    }
     // Solver-level fault site: "kill:sweep@R#N" in a fault plan kills rank
     // R at the start of its Nth sweep (the checkpoint/restart ctest hook).
     fault::inject_point("sweep", fault_rank_of(x));

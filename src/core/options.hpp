@@ -14,6 +14,7 @@
 //   HOSI     = {subspace, no tree},   HOSI-DT = {subspace, tree},
 //   HOSK(-DT) = {gaussian_sketch},    HOSK-KRP(-DT) = {krp_sketch}.
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -95,11 +96,19 @@ struct HooiOptions {
   /// the sweep state (factors, ranks, seed, error history) to this path
   /// after every completed sweep (core/checkpoint.hpp).
   std::string checkpoint_path;
-  /// When non-empty, hooi() resumes from the checkpoint at this path
-  /// instead of random initialization: the remaining sweeps run exactly as
-  /// the uninterrupted solve would have run them (bitwise, thanks to the
-  /// counter-based RNG and canonical-order reductions).
+  /// When non-empty, hooi() / rank_adaptive_hooi() resumes from the
+  /// checkpoint at this path instead of random initialization: the
+  /// remaining sweeps run exactly as the uninterrupted solve would have run
+  /// them (bitwise, thanks to the counter-based RNG, iteration-indexed
+  /// growth seeds, and canonical-order reductions).
   std::string restore_path;
+  /// Cooperative preemption hook (serve::Scheduler, docs/SERVING.md). When
+  /// non-null, the solver loop checks the flag at every sweep/iteration
+  /// boundary: rank 0 reads it and broadcasts the verdict so all ranks
+  /// agree, then every rank throws core::PreemptedError — the previous
+  /// boundary's checkpoint is already on disk and no collective is torn
+  /// mid-post. Null (default): no check, no collective, no cost.
+  const std::atomic<int>* yield_flag = nullptr;
   /// Record a hierarchical trace of the run (prof::TraceSpan events). When
   /// set and no prof::Recorder is already installed on the calling thread,
   /// hooi() and rank_adaptive_hooi() install one and hand it back in

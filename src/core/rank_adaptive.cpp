@@ -6,6 +6,7 @@
 #include "comm/monitor.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
+#include "core/checkpoint.hpp"
 #include "core/sthosvd.hpp"
 #include "fault/fault.hpp"
 #include "metrics/metrics.hpp"
@@ -161,7 +162,51 @@ RankAdaptiveResult<T> rank_adaptive_hooi(
     RAHOOI_REQUIRE(ranks[j] >= 1, "initial ranks must be positive");
   }
   std::vector<la::Matrix<T>> factors;
-  if (options.init == RaInit::sketched_sthosvd) {
+  int start = 0;
+  if (!options.hooi.restore_path.empty()) {
+    // Resume from a rank-adaptive checkpoint: the rank trajectory, the
+    // replicated factors, and the best satisfied decomposition so far are
+    // restored, and the loop continues at the recorded iteration. Every
+    // rank reads the (replicated) file itself — a corrupt checkpoint fails
+    // identically everywhere. Because the growth seeds are
+    // iteration-indexed and the RNG is counter-based, the remaining
+    // iterations replay bitwise identically to the uninterrupted run.
+    SweepCheckpoint<T> ck = load_checkpoint<T>(options.hooi.restore_path);
+    RAHOOI_REQUIRE(ck.kind == CheckpointKind::rank_adaptive,
+                   "restore: checkpoint was written by fixed-rank hooi()");
+    RAHOOI_REQUIRE(ck.seed == options.hooi.seed,
+                   "restore: checkpoint seed differs from options.hooi.seed");
+    RAHOOI_REQUIRE(static_cast<int>(ck.factors.size()) == d,
+                   "restore: checkpoint order differs from the tensor");
+    for (int j = 0; j < d; ++j) {
+      RAHOOI_REQUIRE(ck.factors[j].rows() == x.global_dim(j),
+                     "restore: checkpoint dims differ from the tensor");
+    }
+    RAHOOI_REQUIRE(ck.sweeps_done < options.max_iters,
+                   "restore: checkpointed solve already ran max_iters "
+                   "iterations");
+    ranks = ck.ranks;
+    factors = std::move(ck.factors);
+    start = static_cast<int>(ck.sweeps_done);
+    out.satisfied = ck.ra_satisfied;
+    if (ck.ra_satisfied) {
+      out.rel_error = ck.ra_best_rel_error;
+      out.compressed_size = static_cast<idx_t>(ck.ra_best_size);
+      out.tucker = std::move(ck.best);
+    }
+    // Reseed the iteration log with the last completed iteration's summary
+    // so the unsatisfied-fallback path below keeps working when the resumed
+    // run also never satisfies the tolerance.
+    RaIterationRecord resumed;
+    resumed.index = start;
+    resumed.sweep_ranks = ranks;
+    resumed.ranks_after = ranks;
+    resumed.rel_error = ck.ra_last_rel_error;
+    resumed.rel_error_after = ck.ra_last_rel_error;
+    resumed.compressed_size = static_cast<idx_t>(ck.ra_last_size);
+    resumed.satisfied = ck.ra_satisfied;
+    out.iterations.push_back(std::move(resumed));
+  } else if (options.init == RaInit::sketched_sthosvd) {
     // Randomized ST-HOSVD warm start: one sketched pass at the target
     // tolerance seeds both factors and ranks, so the first HOOI iteration
     // refines an informed subspace instead of random noise. The adaptive
@@ -180,8 +225,25 @@ RankAdaptiveResult<T> rank_adaptive_hooi(
     factors = random_factors<T>(x.global_dims(), ranks, options.hooi.seed);
   }
 
-  for (int iter = 1; iter <= options.max_iters; ++iter) {
+  for (int iter = start + 1; iter <= options.max_iters; ++iter) {
     prof::TraceSpan iter_span("iteration", static_cast<std::int64_t>(iter));
+    // Cooperative checkpoint-and-yield (serve preemption): rank 0 reads the
+    // scheduler's flag and broadcasts the verdict, so every rank takes the
+    // same exit at the same iteration boundary — the previous iteration's
+    // checkpoint is already on disk and no collective is torn mid-post.
+    if (options.hooi.yield_flag != nullptr) {
+      int yield =
+          (x.grid().world().rank() == 0 &&
+           options.hooi.yield_flag->load(std::memory_order_acquire) != 0)
+              ? 1
+              : 0;
+      x.grid().world().bcast(&yield, 1, 0);
+      if (yield != 0) {
+        throw PreemptedError("rank_adaptive_hooi yielded after iteration " +
+                             std::to_string(iter - 1));
+      }
+    }
+    bool stop = false;
     RaIterationRecord rec;
     rec.index = iter;
     rec.sweep_ranks = ranks;
@@ -281,7 +343,7 @@ RankAdaptiveResult<T> rank_adaptive_hooi(
       }
       emit_iteration(rec);
       out.iterations.push_back(std::move(rec));
-      if (!options.continue_after_satisfied) break;
+      stop = !options.continue_after_satisfied;
     } else {
       std::vector<idx_t> next(d);
       if (options.strategy == AdaptStrategy::modewise) {
@@ -329,6 +391,32 @@ RankAdaptiveResult<T> rank_adaptive_hooi(
       emit_iteration(rec);
       out.iterations.push_back(std::move(rec));
     }
+
+    if (!options.hooi.checkpoint_path.empty() &&
+        x.grid().world().rank() == 0) {
+      // Factors, ranks, and the best-so-far decomposition are replicated,
+      // so rank 0's copy is the world's state.
+      SweepCheckpoint<T> ck;
+      ck.kind = CheckpointKind::rank_adaptive;
+      ck.sweeps_done = iter;
+      ck.seed = options.hooi.seed;
+      ck.ranks = ranks;
+      ck.factors = factors;
+      for (const auto& it : out.iterations) {
+        ck.error_history.push_back(it.rel_error);
+      }
+      ck.ra_satisfied = out.satisfied;
+      ck.ra_last_rel_error = out.iterations.back().rel_error;
+      ck.ra_last_size =
+          static_cast<std::int64_t>(out.iterations.back().compressed_size);
+      if (out.satisfied) {
+        ck.ra_best_rel_error = out.rel_error;
+        ck.ra_best_size = static_cast<std::int64_t>(out.compressed_size);
+        ck.best = out.tucker;
+      }
+      save_checkpoint(options.hooi.checkpoint_path, ck);
+    }
+    if (stop) break;
   }
 
   if (!out.satisfied) {

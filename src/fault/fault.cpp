@@ -50,7 +50,14 @@ std::atomic<bool> g_active{false};
 std::mutex g_plan_mutex;
 std::shared_ptr<Plan::Impl> g_plan;
 
+// Thread-scoped plan (ScopedThreadPlan). A rank thread carrying one shadows
+// the process plan entirely, which is what keeps concurrent serve jobs'
+// plans from cross-injecting (DESIGN.md §13). Checked before the global on
+// every hook; the pointer lives on this thread only, so no lock is needed.
+thread_local std::shared_ptr<Plan::Impl> t_plan;
+
 std::shared_ptr<Plan::Impl> snapshot() {
+  if (t_plan) return t_plan;
   if (!g_active.load(std::memory_order_acquire)) return nullptr;
   std::lock_guard lock(g_plan_mutex);
   return g_plan;
@@ -169,7 +176,16 @@ ScopedPlan::ScopedPlan(const Plan& plan) : prev_(install(plan.impl_)) {}
 
 ScopedPlan::~ScopedPlan() { install(std::move(prev_)); }
 
-bool active() { return g_active.load(std::memory_order_relaxed); }
+ScopedThreadPlan::ScopedThreadPlan(const Plan& plan)
+    : prev_(std::move(t_plan)) {
+  t_plan = plan.impl_;
+}
+
+ScopedThreadPlan::~ScopedThreadPlan() { t_plan = std::move(prev_); }
+
+bool active() {
+  return t_plan != nullptr || g_active.load(std::memory_order_relaxed);
+}
 
 RetryPolicy retry_policy() {
   const auto plan = snapshot();

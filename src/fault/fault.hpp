@@ -1,10 +1,13 @@
 #pragma once
 // Deterministic fault injection for the thread-based message-passing runtime
 // (docs/ROBUSTNESS.md). A seeded Plan of nth-call matchers is installed
-// process-wide (ScopedPlan); the comm layer calls the inject hooks at every
-// collective entry (and on selected payloads), and the solver loop exposes a
-// per-sweep site ("sweep"). With no plan installed every hook is one relaxed
-// atomic load — the production hot path pays nothing.
+// either process-wide (ScopedPlan) or on one thread (ScopedThreadPlan — the
+// runtime uses it to scope a plan to the rank threads of a single world via
+// comm::RunOptions::fault_plan); the comm layer calls the inject hooks at
+// every collective entry (and on selected payloads), and the solver loop
+// exposes a per-sweep site ("sweep"). A thread plan shadows the process
+// plan on its thread. With no plan installed anywhere every hook is one
+// relaxed atomic load — the production hot path pays nothing.
 //
 // Actions:
 //  * delay      — sleep `delay_ms` at the matched site (skew/straggler).
@@ -92,6 +95,7 @@ class Plan {
 
  private:
   friend class ScopedPlan;
+  friend class ScopedThreadPlan;
 
   std::shared_ptr<Impl> impl_;
 };
@@ -105,6 +109,25 @@ class ScopedPlan {
 
   ScopedPlan(const ScopedPlan&) = delete;
   ScopedPlan& operator=(const ScopedPlan&) = delete;
+
+ private:
+  std::shared_ptr<Plan::Impl> prev_;
+};
+
+/// Installs `plan` on the *current thread only* for the lifetime of the
+/// scope, shadowing any process-wide plan there and restoring the previous
+/// thread plan on destruction. Because a Plan is a shared handle, every
+/// thread holding the same Plan shares one set of rule counters — the
+/// runtime installs the job's plan on each rank thread of a world
+/// (RunOptions::fault_plan), so nth-call matching spans the world while
+/// concurrent worlds with different plans never cross-inject.
+class ScopedThreadPlan {
+ public:
+  explicit ScopedThreadPlan(const Plan& plan);
+  ~ScopedThreadPlan();
+
+  ScopedThreadPlan(const ScopedThreadPlan&) = delete;
+  ScopedThreadPlan& operator=(const ScopedThreadPlan&) = delete;
 
  private:
   std::shared_ptr<Plan::Impl> prev_;

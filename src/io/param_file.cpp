@@ -198,13 +198,21 @@ const std::vector<ParamKey>& param_key_table() {
       // -- runtime / robustness knobs (do not change a successful result) --
       {"Collective timeout ms", "double", "0", "hooi,serve", false,
        "hang-watchdog deadline per collective (0 disables)"},
-      {"Checkpoint file", "string", "", "hooi", false,
+      {"Checkpoint file", "string", "", "hooi,serve", false,
        "write a checkpoint after every sweep; resume with --restore"},
       // -- serving-layer admission keys (docs/SERVING.md) ------------------
       {"Serve priority", "string", "normal", "serve", false,
        "admission priority: low | normal | high"},
       {"Serve deadline s", "double", "0", "serve", false,
        "per-job deadline in seconds from submit (0 = none)"},
+      {"Serve max attempts", "int", "1", "serve", false,
+       "total solve attempts on transient failures (1 = no retry)"},
+      {"Serve retry backoff ms", "double", "0", "serve", false,
+       "retry k redispatches after backoff * 2^(k-1) ms plus jitter"},
+      {"Serve retry jitter ms", "double", "0", "serve", false,
+       "additive retry jitter bound, drawn from the counter-based RNG"},
+      {"Serve keep checkpoint", "bool", "false", "serve", false,
+       "keep the job checkpoint after successful completion"},
       // -- input/output and reporting (never result-affecting) -------------
       {"Output file", "string", "", "hooi,sthosvd", false,
        "write the compressed Tucker tensor here"},

@@ -53,6 +53,12 @@ const char* counter_name(Counter c) {
       return "serve_deadline_misses";
     case Counter::serve_failed:
       return "serve_failed";
+    case Counter::serve_retries:
+      return "serve_retries";
+    case Counter::serve_resumes:
+      return "serve_resumes";
+    case Counter::serve_preemptions:
+      return "serve_preemptions";
     case Counter::count_:
       break;
   }

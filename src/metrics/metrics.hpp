@@ -56,6 +56,9 @@ enum class Counter : int {
   serve_shed,             ///< jobs load-shed (queue full / evicted / shutdown)
   serve_deadline_misses,  ///< jobs expired before dispatch or overrun after
   serve_failed,           ///< jobs whose solve threw (fault, bad request)
+  serve_retries,          ///< transient-failure requeues (retry-with-resume)
+  serve_resumes,          ///< dispatches that restored a job checkpoint
+  serve_preemptions,      ///< running jobs checkpoint-yielded to a high job
   count_
 };
 constexpr int kCounterCount = static_cast<int>(Counter::count_);

@@ -1,13 +1,20 @@
 #include "serve/serve.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <optional>
 #include <type_traits>
 #include <utility>
 
 #include "common/contracts.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "comm/errors.hpp"
 #include "comm/runtime.hpp"
+#include "core/checkpoint.hpp"
 #include "core/rank_adaptive.hpp"
 #include "data/science.hpp"
 #include "data/synthetic.hpp"
@@ -102,13 +109,32 @@ core::HooiOptions hooi_options_from(const io::ParamFile& params,
   return o;
 }
 
-/// Runs the solve for one dispatched job inside its own Runtime::run world
-/// and fills the result fields of job.report. Throws on failure (the
-/// caller turns that into Outcome::failed) — but a world is always fully
-/// joined before the exception reaches us, so no rank is ever left parked.
+/// True when `path` names a readable file — how the dispatcher decides
+/// whether a retrying/preempted job has a checkpoint to resume from.
+bool file_exists(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return f.good();
+}
+
+/// Everything a solve attempt needs beyond the request itself: the pool's
+/// knobs plus the job's resilience plumbing (job-scoped fault plan,
+/// checkpoint/restore paths, cooperative yield flag).
+struct AttemptConfig {
+  double pool_timeout_s = 0.0;
+  int comm_check = -1;
+  const fault::Plan* fault_plan = nullptr;  ///< scoped to this job's world
+  std::string checkpoint_path;  ///< "" = no periodic checkpointing
+  std::string restore_path;     ///< "" = fresh start
+  const std::atomic<int>* yield_flag = nullptr;
+};
+
+/// Runs one solve attempt for a dispatched job inside its own
+/// Runtime::run world and fills the result fields of job.report. Throws on
+/// failure (the caller classifies it) — but a world is always fully joined
+/// before the exception reaches us, so no rank is ever left parked.
 template <typename T>
 void run_typed(Scheduler::JobId, SolveRequest& req, RankPlan& plan,
-               SolveReport& rep, double pool_timeout_s, int comm_check) {
+               SolveReport& rep, const AttemptConfig& cfg) {
   const io::ParamFile& params = req.params;
   const auto dims = params.get_dims("Global dims");
   auto decomposition = params.get_dims("Decomposition Ranks");
@@ -120,27 +146,25 @@ void run_typed(Scheduler::JobId, SolveRequest& req, RankPlan& plan,
   if (construction.empty()) construction = decomposition;
 
   core::HooiOptions hooi_opts = hooi_options_from(
-      params, dims, decomposition, plan.grid, pool_timeout_s);
+      params, dims, decomposition, plan.grid, cfg.pool_timeout_s);
   const double adapt = params.get_double("HOOI-Adapt Threshold", 0.0);
-
-  // Fault injection is *process-wide* (fault::ScopedPlan), not per-world:
-  // while this job runs its plan can also match collectives of concurrent
-  // jobs whose world has a rank matching the rule. docs/SERVING.md explains
-  // how the serve-smoke keeps that deterministic (target a rank index that
-  // exists only in the faulted job's world).
-  std::optional<fault::ScopedPlan> fault_guard;
-  const std::string fault_spec = params.get_string("Fault plan", "");
-  if (!fault_spec.empty()) {
-    fault_guard.emplace(fault::Plan::parse(
-        fault_spec,
-        static_cast<std::uint64_t>(params.get_int("Fault seed", 1))));
+  if (!cfg.checkpoint_path.empty()) {
+    hooi_opts.checkpoint_path = cfg.checkpoint_path;
   }
+  hooi_opts.restore_path = cfg.restore_path;
+  hooi_opts.yield_flag = cfg.yield_flag;
 
   auto result = std::make_shared<JobResult>();
   result->single = std::is_same_v<T, float>;
 
   comm::RunOptions ro;
-  ro.comm_check = comm_check;
+  ro.comm_check = cfg.comm_check;
+  // Job-scoped fault injection: the job's plan rides RunOptions::fault_plan
+  // into the rank threads of *this* world only, so a concurrent neighbor
+  // job can never match its rules (the process-wide ScopedPlan caveat of
+  // DESIGN.md §13, now closed). The Plan is owned by the Job and shared
+  // across attempts, so rule counters persist through retries.
+  ro.fault_plan = cfg.fault_plan;
   comm::Runtime::run(
       plan.p,
       [&](comm::Comm& world) {
@@ -370,6 +394,23 @@ Scheduler::JobId Scheduler::submit(SolveRequest req) {
       }
       job->req.params.set("Processor grid dims", joined);
     }
+    job->retry.max_attempts =
+        static_cast<int>(params.get_int("Serve max attempts", 1));
+    RAHOOI_REQUIRE(job->retry.max_attempts >= 1,
+                   "'Serve max attempts' must be >= 1");
+    job->retry.backoff_base_ms =
+        params.get_double("Serve retry backoff ms", 0.0);
+    job->retry.jitter_ms = params.get_double("Serve retry jitter ms", 0.0);
+    RAHOOI_REQUIRE(
+        job->retry.backoff_base_ms >= 0.0 && job->retry.jitter_ms >= 0.0,
+        "'Serve retry backoff ms' / 'Serve retry jitter ms' must be >= 0");
+    job->keep_checkpoint = options_.keep_checkpoints ||
+                           params.get_bool("Serve keep checkpoint", false);
+    job->checkpoint_path = params.get_string("Checkpoint file", "");
+    if (job->checkpoint_path.empty() && !options_.checkpoint_dir.empty()) {
+      job->checkpoint_path = options_.checkpoint_dir + "/job-" +
+                             std::to_string(id) + ".rhk";
+    }
     job->report.priority = job->req.priority;
     job->report.grid = job->plan.grid;
     job->report.elastic_grid = job->plan.elastic;
@@ -529,49 +570,144 @@ void Scheduler::finish_locked(const std::shared_ptr<Job>& job, Outcome outcome,
   done_cv_.notify_all();
 }
 
-void Scheduler::run_job(Job& job) {
+void Scheduler::maybe_preempt_locked(const Job& head) {
+  // Only a high-priority arrival justifies interrupting running work; a
+  // normal job waiting on ranks just waits (head-of-line, nothing starves).
+  if (head.req.priority != Priority::high) return;
+  std::shared_ptr<Job> victim;
+  for (const auto& j : running_) {
+    // One outstanding request at a time: the head is already waiting for
+    // this victim's ranks, and signalling more would thrash the pool.
+    if (j->preempt_requested) return;
+    if (j->req.priority >= head.req.priority) continue;
+    if (j->checkpoint_path.empty()) continue;  // nowhere to save its state
+    if (victim == nullptr || j->req.priority < victim->req.priority ||
+        (j->req.priority == victim->req.priority && j->id > victim->id)) {
+      victim = j;  // lowest priority; among equals, least sunk cost
+    }
+  }
+  if (victim == nullptr) return;
+  victim->preempt_requested = true;
+  // The solver loop reads this at the next sweep boundary, broadcasts the
+  // verdict, and every rank throws core::PreemptedError — the previous
+  // boundary's checkpoint is already on disk (core/options.hpp yield_flag).
+  victim->yield->store(1, std::memory_order_release);
+}
+
+Scheduler::RunStatus Scheduler::run_job(Job& job, bool restore) {
   SolveReport& r = job.report;
   const double t0 = stats::now();
+  RunStatus status = RunStatus::completed;
+  ++job.attempts;
   try {
     r.ranks_used = job.plan.p;
+    ++r.attempts;
+    if (restore) ++r.resumes;
+
+    // Parse the job's fault plan once (first attempt), not once per
+    // attempt: the shared rule counters make "kill:sweep@1%1" fire exactly
+    // once, so the retry of that job survives the sweep that killed it.
+    const std::string fault_spec =
+        job.req.params.get_string("Fault plan", "");
+    if (!fault_spec.empty() && !job.fault_plan.has_value()) {
+      job.fault_plan.emplace(fault::Plan::parse(
+          fault_spec,
+          static_cast<std::uint64_t>(job.req.params.get_int("Fault seed", 1))));
+    }
+
+    AttemptConfig cfg;
+    cfg.pool_timeout_s = options_.collective_timeout_s;
+    cfg.comm_check = options_.comm_check;
+    cfg.fault_plan = job.fault_plan.has_value() ? &*job.fault_plan : nullptr;
+    cfg.checkpoint_path = job.checkpoint_path;
+    if (restore) cfg.restore_path = job.checkpoint_path;
+    cfg.yield_flag = job.yield.get();
+
     if (job.req.params.get_bool("Single precision", true)) {
-      run_typed<float>(job.id, job.req, job.plan, r,
-                       options_.collective_timeout_s, options_.comm_check);
+      run_typed<float>(job.id, job.req, job.plan, r, cfg);
     } else {
-      run_typed<double>(job.id, job.req, job.plan, r,
-                        options_.collective_timeout_s, options_.comm_check);
+      run_typed<double>(job.id, job.req, job.plan, r, cfg);
     }
     r.outcome = Outcome::completed;
-  } catch (const std::exception& e) {
-    // Whatever unwound — an injected RankKilledError, a watchdog
-    // TimeoutError, a schedule-divergence verdict, a bad parameter — the
-    // job's world is already fully joined (Runtime::run's contract), so the
-    // failure is contained to this report and the pool stays healthy.
-    r.outcome = Outcome::failed;
+    r.error.clear();  // forget the transient failures the retries absorbed
+  } catch (const core::PreemptedError&) {
+    // Cooperative yield, not a failure: state is checkpointed, the world is
+    // joined, and the attempt doesn't count against the retry budget.
+    --job.attempts;
+    --r.attempts;
+    if (restore) --r.resumes;
+    r.result.reset();
+    status = RunStatus::preempted;
+  } catch (const comm::TimeoutError& e) {
     r.error = e.what();
     r.result.reset();
+    status = RunStatus::transient;  // watchdog: hang, not a wrong answer
+  } catch (const comm::AbortedError& e) {
+    r.error = e.what();
+    r.result.reset();
+    status = RunStatus::transient;  // secondary casualty of a world fault
+  } catch (const fault::RankKilledError& e) {
+    // Never retried *within* a world (with_retry's rule) — but the job
+    // level spawns a fresh world per attempt, which is exactly the
+    // fail-stop recovery a kill models. Transient.
+    r.error = e.what();
+    r.result.reset();
+    status = RunStatus::transient;
+  } catch (const comm::CommError& e) {
+    r.error = e.what();
+    r.result.reset();
+    status = RunStatus::transient;  // injected comm fault that leaked past
+                                    // the collective's own with_retry
+  } catch (const std::exception& e) {
+    // Deterministic failures — precondition_error (bad request),
+    // numerical_error, checkpoint corruption, ScheduleDivergenceError —
+    // would fail identically on every attempt: never retried. The job's
+    // world is already fully joined (Runtime::run's contract) whatever
+    // unwound, so the failure is contained to this report either way.
+    r.error = e.what();
+    r.result.reset();
+    status = RunStatus::failed;
   }
-  r.solve_seconds = stats::now() - t0;
+  r.solve_seconds += stats::now() - t0;  // accumulates across attempts
+  return status;
 }
 
 void Scheduler::worker_loop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [&] {
-      if (stopping_) return true;
-      if (paused_ || queue_.empty()) return false;
-      const Job& front = *queue_.front();
-      // Head-of-line dispatch: the front job is the only candidate. It is
-      // dispatchable when its ranks fit — or when it will not run a world
-      // at all (expired deadline, cache hit), which needs no ranks.
-      if (front.deadline_s > 0.0 &&
-          stats::now() - front.submit_time > front.deadline_s) {
-        return true;
-      }
-      if (cache_find_locked(front.report.fingerprint) != nullptr) return true;
-      return front.plan.p <= free_ranks_;
-    });
     if (stopping_) return;  // destructor already shed the queue
+    if (paused_ || queue_.empty()) {
+      work_cv_.wait(lock);
+      continue;
+    }
+
+    // Head-of-line dispatch: the front job is the only candidate. It is
+    // dispatchable when its ranks fit — or when it will not run a world at
+    // all (expired deadline, cache hit), which needs no ranks.
+    {
+      const Job& front = *queue_.front();
+      const double now = stats::now();
+      const bool expired = front.deadline_s > 0.0 &&
+                           now - front.submit_time > front.deadline_s;
+      const bool cached =
+          cache_find_locked(front.report.fingerprint) != nullptr;
+      if (!expired && !cached) {
+        if (now < front.not_before) {
+          // Retry backoff: sleep-free by construction (src/ forbids
+          // sleeps) — a timed wait on the work cv, re-checked on wake.
+          work_cv_.wait_for(
+              lock, std::chrono::duration<double>(front.not_before - now));
+          continue;
+        }
+        if (front.plan.p > free_ranks_) {
+          // Not enough ranks. A high-priority head may checkpoint-preempt
+          // the lowest-priority running job; otherwise wait for a finish.
+          maybe_preempt_locked(front);
+          work_cv_.wait(lock);
+          continue;
+        }
+      }
+    }
 
     const std::shared_ptr<Job> job = queue_.front();
     queue_.erase(queue_.begin());
@@ -598,12 +734,66 @@ void Scheduler::worker_loop() {
       continue;
     }
 
+    // Resume only state this job itself wrote: a checkpoint file can exist
+    // on the first attempt (the request pointed at a stale path) and must
+    // not silently seed the solve then.
+    const bool restore =
+        (job->attempts > 0 || job->report.preemptions > 0) &&
+        !job->checkpoint_path.empty() && file_exists(job->checkpoint_path);
+    if (restore) registry_.count(metrics::Counter::serve_resumes);
+
     free_ranks_ -= job->plan.p;
+    running_.push_back(job);
     lock.unlock();
-    run_job(*job);
+    const RunStatus status = run_job(*job, restore);
     lock.lock();
     free_ranks_ += job->plan.p;
-    finish_locked(job, job->report.outcome, job->report.error);
+    running_.erase(std::find(running_.begin(), running_.end(), job));
+
+    switch (status) {
+      case RunStatus::completed:
+        finish_locked(job, Outcome::completed, "");
+        if (!job->checkpoint_path.empty() && !job->keep_checkpoint) {
+          // The checkpoint only existed to survive faults; done surviving.
+          std::remove(job->checkpoint_path.c_str());
+        }
+        break;
+      case RunStatus::failed:
+        finish_locked(job, Outcome::failed, job->report.error);
+        break;
+      case RunStatus::transient:
+        if (job->attempts < job->retry.max_attempts && !stopping_) {
+          registry_.count(metrics::Counter::serve_retries);
+          // Exponential backoff with deterministic jitter, keyed by
+          // (job id, attempt) so a soak replays bit-for-bit.
+          const double backoff_ms =
+              job->retry.backoff_base_ms *
+                  std::pow(2.0, double(job->attempts - 1)) +
+              CounterRng(job->id).stream(0x5e12e7ull).uniform(
+                  static_cast<std::uint64_t>(job->attempts), 0.0,
+                  job->retry.jitter_ms);
+          job->not_before = stats::now() + backoff_ms * 1e-3;
+          job->report.error.clear();  // absorbed unless the budget runs out
+          enqueue_locked(job);
+          registry_.serve_queue_add(1.0);
+        } else {
+          finish_locked(job, Outcome::failed, job->report.error);
+        }
+        break;
+      case RunStatus::preempted:
+        job->yield->store(0, std::memory_order_release);
+        job->preempt_requested = false;
+        if (stopping_) {
+          finish_locked(job, Outcome::shed,
+                        "scheduler shutdown while preempted");
+          break;
+        }
+        registry_.count(metrics::Counter::serve_preemptions);
+        ++job->report.preemptions;
+        enqueue_locked(job);  // resumes from its checkpoint when ranks free
+        registry_.serve_queue_add(1.0);
+        break;
+    }
     work_cv_.notify_all();  // freed ranks may unblock the next job
   }
 }

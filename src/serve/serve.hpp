@@ -10,7 +10,16 @@
 //  * isolation/fault runtime — every job runs in its own Runtime::run world
 //    (fresh Monitor + Context per call), so a rank killed or a watchdog
 //    abort in one job unwinds that world completely (run() always joins all
-//    rank threads) and never poisons the pool or a neighbor job;
+//    rank threads) and never poisons the pool or a neighbor job; a job's
+//    "Fault plan" is scoped to its own world (RunOptions::fault_plan), so
+//    concurrent jobs never cross-inject;
+//  * resilience — jobs carry a RetryPolicy: a *transient* failure (injected
+//    kill, watchdog timeout, comm fault) requeues the job with deterministic
+//    backoff and, when the job checkpoints, the next attempt resumes from
+//    the last sweep boundary instead of from scratch. A queued high-priority
+//    job that cannot get ranks asks the lowest-priority running job to
+//    checkpoint-and-yield at its next sweep boundary (cooperative
+//    preemption; the victim requeues and resumes later);
 //  * elastic sizing — when a request carries no "Processor grid dims", the
 //    model:: cost machinery picks the rank count and grid from the tensor
 //    shape and solver configuration (plan_ranks);
@@ -30,16 +39,19 @@
 // deadline-missed jobs still produce well-formed reports — reported, never
 // dropped.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/solve_report.hpp"
+#include "fault/fault.hpp"
 #include "io/param_file.hpp"
 #include "metrics/metrics.hpp"
 #include "tensor/tucker_tensor.hpp"
@@ -69,6 +81,25 @@ enum class Outcome : int {
 };
 
 const char* outcome_name(Outcome o);
+
+/// Per-job retry policy (retry-with-resume, docs/ROBUSTNESS.md). Defaults
+/// run a job exactly once, so transient failures report Outcome::failed the
+/// way they always did. With max_attempts > 1, a *transient* failure
+/// (comm::CommError, comm::TimeoutError, comm::AbortedError,
+/// fault::RankKilledError — faults of the world, not of the request)
+/// requeues the job; deterministic failures (precondition_error,
+/// numerical_error, checkpoint corruption, schedule divergence) never
+/// retry. When the job checkpoints, the retry resumes from the last sweep
+/// boundary instead of starting over. Populated from the "Serve max
+/// attempts" / "Serve retry backoff ms" / "Serve retry jitter ms" keys.
+struct RetryPolicy {
+  int max_attempts = 1;          ///< total solve attempts (1 = no retry)
+  double backoff_base_ms = 0.0;  ///< attempt k redispatches after base * 2^(k-1)
+  /// Upper bound of the additive jitter, drawn from the counter-based RNG
+  /// keyed by (job id, attempt) — deterministic for a fixed submission
+  /// order, so soak tests replay exactly.
+  double jitter_ms = 0.0;
+};
 
 /// One decomposition job. `params` uses the hooi_driver parameter keys
 /// (io::param_key_table scope "serve"); priority/deadline may equivalently
@@ -103,6 +134,9 @@ struct SolveReport {
   bool elastic_grid = false;  ///< grid chosen by the cost model, not the request
   std::uint64_t fingerprint = 0;  ///< result-cache key component
   bool deadline_overrun = false;  ///< completed, but after its deadline
+  int attempts = 0;     ///< solve attempts consumed (>= 2 means it retried)
+  int resumes = 0;      ///< attempts that restored the job's checkpoint
+  int preemptions = 0;  ///< times the job checkpoint-yielded to a high job
   std::vector<idx_t> tucker_ranks;
   double rel_error = -1.0;
   idx_t compressed_size = 0;
@@ -164,6 +198,17 @@ struct ServeOptions {
   /// until start(). Makes admission-order tests and saturation benches
   /// deterministic.
   bool start_paused = false;
+  /// When non-empty, every job without an explicit "Checkpoint file" key
+  /// checkpoints to `<checkpoint_dir>/job-<id>.rhk` — the substrate of
+  /// retry-with-resume and checkpoint preemption. Empty (default): only
+  /// jobs that ask for a checkpoint get one, and a preemption request
+  /// passes over jobs with nowhere to save their state.
+  std::string checkpoint_dir;
+  /// Keep job checkpoint files after successful completion (debugging aid;
+  /// also per-request via "Serve keep checkpoint"). Default deletes the
+  /// checkpoint once its job completes — it only existed to survive
+  /// faults. Checkpoints of *failed* jobs are always kept for post-mortems.
+  bool keep_checkpoints = false;
 };
 
 class Scheduler {
@@ -204,11 +249,35 @@ class Scheduler {
     double deadline_s = 0.0;
     bool done = false;
     SolveReport report;
+    // --- resilience state (docs/ROBUSTNESS.md "Serving resilience") ---
+    RetryPolicy retry;
+    int attempts = 0;            ///< solve attempts started so far
+    double not_before = 0.0;     ///< backoff: no dispatch before this time
+    std::string checkpoint_path; ///< per-job checkpoint file ("" = none)
+    bool keep_checkpoint = false;
+    /// Job-scoped fault plan, parsed once per job (not per attempt) so rule
+    /// counters persist across retries: "kill:sweep@1%1" fires exactly once
+    /// and the retry of that job sails past the sweep that killed it.
+    std::optional<fault::Plan> fault_plan;
+    /// Cooperative preemption flag handed to the solver loop as
+    /// HooiOptions::yield_flag. shared_ptr: the rank threads of a world
+    /// being shut down may outlive a requeue decision under the lock.
+    std::shared_ptr<std::atomic<int>> yield =
+        std::make_shared<std::atomic<int>>(0);
+    bool preempt_requested = false;  ///< yield signalled, not yet honored
   };
 
   struct CacheEntry {
     std::uint64_t key = 0;
     std::shared_ptr<const Job> source;  ///< completed job whose result is shared
+  };
+
+  /// How one solve attempt ended — decides requeue vs terminal report.
+  enum class RunStatus {
+    completed,  ///< result produced
+    failed,     ///< deterministic failure: never retried
+    transient,  ///< world fault (kill/timeout/comm): retriable
+    preempted,  ///< checkpoint-yielded to a higher-priority job
   };
 
   void worker_loop();
@@ -218,8 +287,14 @@ class Scheduler {
                      std::string error);
   const Job* cache_find_locked(std::uint64_t key) const;
   void cache_insert_locked(const std::shared_ptr<Job>& job);
-  /// Runs the solve outside the lock; fills job->report fields.
-  void run_job(Job& job);
+  /// Head job outranks the pool's free ranks: ask the lowest-priority
+  /// running job (that has a checkpoint path and strictly lower priority)
+  /// to checkpoint-and-yield at its next sweep boundary. At most one
+  /// outstanding request at a time.
+  void maybe_preempt_locked(const Job& head);
+  /// Runs one solve attempt outside the lock; fills job.report fields and
+  /// classifies the ending. `restore` resumes from the job's checkpoint.
+  RunStatus run_job(Job& job, bool restore);
 
   ServeOptions options_;
   mutable std::mutex mu_;
@@ -228,6 +303,7 @@ class Scheduler {
   std::vector<std::thread> workers_;
   std::map<JobId, std::shared_ptr<Job>> jobs_;
   std::vector<std::shared_ptr<Job>> queue_;  ///< pending, priority-sorted
+  std::vector<std::shared_ptr<Job>> running_;  ///< dispatched, not yet back
   std::vector<CacheEntry> cache_;            ///< LRU order, front = oldest
   metrics::Registry registry_;
   JobId next_id_ = 0;

@@ -1,0 +1,22 @@
+// Fixture: hand-rolled retry loop — a catch of comm::CommError lexically
+// inside a loop. Retries must go through fault::with_retry (bounded
+// attempts, deterministic backoff, counted in metrics) or the serve
+// scheduler's RetryPolicy, never an ad-hoc swallow-and-spin.
+#include "comm/errors.hpp"
+
+namespace rahooi::core {
+
+int flaky_collective();
+
+int bad_retry() {
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    try {
+      return flaky_collective();
+    } catch (const comm::CommError&) {
+      // swallow and go around again — unbounded, unjittered, uncounted
+    }
+  }
+  return -1;
+}
+
+}  // namespace rahooi::core

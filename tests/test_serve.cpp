@@ -1,6 +1,7 @@
 // Serving-layer tests (docs/SERVING.md): elastic rank planning, admission
-// control (priorities, deadlines, load shedding), the result cache, and
-// per-job fault isolation. Every Scheduler here runs with the
+// control (priorities, deadlines, load shedding), the result cache, per-job
+// fault isolation, and the resilience layer (retry-with-resume, checkpoint
+// preemption — docs/ROBUSTNESS.md). Every Scheduler here runs with the
 // collective-schedule sanitizer forced on (comm_check = 1), so a job world
 // that leaked a rank or diverged its collective schedule would fail loudly.
 
@@ -8,7 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <string>
+#include <thread>
 
 #include "common/contracts.hpp"
 
@@ -245,6 +252,146 @@ TEST(ServeScheduler, InjectedFaultIsIsolatedToItsJob) {
                                    serve::Priority::normal, 0.0});
   EXPECT_EQ(sched.wait(clean).outcome, serve::Outcome::completed);
   EXPECT_EQ(sched.metrics().counter(metrics::Counter::serve_failed), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Resilience: retry-with-resume and checkpoint preemption
+// ---------------------------------------------------------------------------
+
+bool path_exists(const std::string& p) {
+  std::ifstream f(p, std::ios::binary);
+  return f.good();
+}
+
+TEST(ServeResilience, RetryResumesFromCheckpointAndMatchesUninterrupted) {
+  // Pid-unique path: this test exists in both the main and the sanitize
+  // binaries, which a parallel ctest runs concurrently in one directory.
+  const std::string ckpt =
+      "serve_retry_resume." + std::to_string(::getpid()) + ".rhk";
+  std::remove(ckpt.c_str());
+  // The kill fires on the *second* sweep site call (nth = 1), i.e. after
+  // the sweep-1 checkpoint is on disk; the plan's rule counters live on the
+  // Job, so the retry does not re-fire the rule and resumes past the kill.
+  serve::Scheduler sched(checked_options());
+  const auto id = sched.submit(
+      {"flaky",
+       make_params("1 1 1",
+                   "HOOI max iters = 4\n"
+                   "Fault plan = kill:sweep@0%1\n"
+                   "Serve max attempts = 3\n"
+                   "Checkpoint file = " + ckpt + "\n"),
+       serve::Priority::normal, 0.0});
+  const serve::SolveReport r = sched.wait(id);
+  ASSERT_EQ(r.outcome, serve::Outcome::completed) << r.error;
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_EQ(r.resumes, 1);
+  EXPECT_EQ(r.preemptions, 0);
+  EXPECT_TRUE(r.error.empty());
+  EXPECT_EQ(sched.metrics().counter(metrics::Counter::serve_retries), 1u);
+  EXPECT_EQ(sched.metrics().counter(metrics::Counter::serve_resumes), 1u);
+  EXPECT_EQ(sched.metrics().counter(metrics::Counter::serve_failed), 0u);
+  // The checkpoint only existed to survive the fault: deleted on success.
+  EXPECT_FALSE(path_exists(ckpt));
+
+  // The resumed solve must be bitwise identical to an uninterrupted one
+  // (counter-based RNG + canonical-order reductions, docs/ROBUSTNESS.md).
+  serve::Scheduler ref_sched(checked_options());
+  const serve::SolveReport ref = ref_sched.wait(ref_sched.submit(
+      {"reference", make_params("1 1 1", "HOOI max iters = 4\n"),
+       serve::Priority::normal, 0.0}));
+  ASSERT_EQ(ref.outcome, serve::Outcome::completed) << ref.error;
+  ASSERT_NE(r.result, nullptr);
+  ASSERT_NE(ref.result, nullptr);
+  const auto& got = r.result->tucker_f;
+  const auto& want = ref.result->tucker_f;
+  ASSERT_EQ(got.ranks(), want.ranks());
+  for (la::idx_t i = 0; i < want.core.size(); ++i) {
+    ASSERT_EQ(got.core.data()[i], want.core.data()[i]) << "core entry " << i;
+  }
+  for (std::size_t j = 0; j < want.factors.size(); ++j) {
+    ASSERT_EQ(got.factors[j].rows(), want.factors[j].rows());
+    ASSERT_EQ(got.factors[j].cols(), want.factors[j].cols());
+    for (la::idx_t i = 0; i < want.factors[j].size(); ++i) {
+      ASSERT_EQ(got.factors[j].data()[i], want.factors[j].data()[i])
+          << "factor " << j << " entry " << i;
+    }
+  }
+}
+
+TEST(ServeResilience, RetryBudgetExhaustionReportsFailed) {
+  // The rule fires on the first two sweep site calls — both attempts die,
+  // and the second failure is terminal (max attempts = 2).
+  serve::Scheduler sched(checked_options());
+  const auto id = sched.submit(
+      {"doomed",
+       make_params("1 1 1",
+                   "Fault plan = kill:sweep@0*2\n"
+                   "Serve max attempts = 2\n"),
+       serve::Priority::normal, 0.0});
+  const serve::SolveReport r = sched.wait(id);
+  EXPECT_EQ(r.outcome, serve::Outcome::failed);
+  EXPECT_NE(r.error.find("injected rank death"), std::string::npos);
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_EQ(r.resumes, 0);  // the kill predates the first checkpoint
+  EXPECT_EQ(sched.metrics().counter(metrics::Counter::serve_retries), 1u);
+  EXPECT_EQ(sched.metrics().counter(metrics::Counter::serve_failed), 1u);
+}
+
+TEST(ServeResilience, DeterministicFailureIsNeverRetried) {
+  // A bad request (unknown dataset) fails identically every attempt: the
+  // classifier must not burn retries on it.
+  serve::Scheduler sched(checked_options());
+  const auto id = sched.submit(
+      {"bad-request",
+       make_params("1 1 1", "Dataset = nonsense\nServe max attempts = 5\n"),
+       serve::Priority::normal, 0.0});
+  const serve::SolveReport r = sched.wait(id);
+  EXPECT_EQ(r.outcome, serve::Outcome::failed);
+  EXPECT_EQ(r.attempts, 1);
+  EXPECT_EQ(sched.metrics().counter(metrics::Counter::serve_retries), 0u);
+}
+
+TEST(ServeResilience, HighPriorityArrivalPreemptsCheckpointedLowJob) {
+  // Pid-unique path: this test exists in both the main and the sanitize
+  // binaries, which a parallel ctest runs concurrently in one directory —
+  // a shared name lets one instance poll its twin's checkpoint file.
+  const std::string ckpt =
+      "serve_preempt_victim." + std::to_string(::getpid()) + ".rhk";
+  std::remove(ckpt.c_str());
+  serve::ServeOptions opts = checked_options();
+  opts.pool_ranks = 2;  // the victim owns the whole pool while it runs
+  serve::Scheduler sched(opts);
+  const auto victim = sched.submit(
+      {"victim",
+       make_params("1 1 2",
+                   "Global dims = 24 24 24\n"
+                   // Long enough that the victim cannot drain before the
+                   // urgent job's preempt request lands, even when a busy
+                   // parallel-ctest machine stalls this thread mid-test.
+                   "HOOI max iters = 2000\n"
+                   "Checkpoint file = " + ckpt + "\n"),
+       serve::Priority::low, 0.0});
+  // Wait until the victim is demonstrably mid-solve (its first sweep
+  // checkpoint exists) before the high-priority job arrives.
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!path_exists(ckpt)) {
+    ASSERT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(30))
+        << "victim never wrote its checkpoint";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto urgent = sched.submit(
+      {"urgent", make_params("1 1 1", "Seed = 6\n"), serve::Priority::high,
+       0.0});
+  const serve::SolveReport hi = sched.wait(urgent);
+  const serve::SolveReport lo = sched.wait(victim);
+  EXPECT_EQ(hi.outcome, serve::Outcome::completed) << hi.error;
+  ASSERT_EQ(lo.outcome, serve::Outcome::completed) << lo.error;
+  EXPECT_GE(lo.preemptions, 1);
+  EXPECT_GE(lo.resumes, 1);
+  EXPECT_EQ(lo.attempts, 1);  // a preemption consumes no retry budget
+  EXPECT_GE(sched.metrics().counter(metrics::Counter::serve_preemptions), 1u);
+  EXPECT_GE(sched.metrics().counter(metrics::Counter::serve_resumes), 1u);
+  EXPECT_EQ(sched.metrics().counter(metrics::Counter::serve_failed), 0u);
 }
 
 TEST(ServeScheduler, MalformedRequestFailsAtSubmit) {

@@ -31,6 +31,11 @@
 //                      (comm/errors.hpp, common/contracts.hpp,
 //                      core/checkpoint.hpp, fault/fault.hpp) so Runtime::run
 //                      failure classification stays exhaustive.
+//   raw-retry-loop     `catch (comm::CommError)` lexically inside a loop in
+//                      library code outside src/fault — a hand-rolled retry
+//                      loop. Retries must go through fault::with_retry
+//                      (bounded attempts, deterministic backoff, counted in
+//                      metrics) or the serve scheduler's RetryPolicy.
 //   tracespan-discard  `prof::TraceSpan(...);` as a discarded temporary —
 //                      the span closes immediately and times nothing; bind
 //                      it to a named local.
@@ -233,7 +238,7 @@ const std::set<std::string>& taxonomy_types() {
   static const std::set<std::string> kTypes{
       "precondition_error", "numerical_error",  "checkpoint_error",
       "AbortedError",       "TimeoutError",     "CommError",
-      "RankKilledError",    "ScheduleDivergenceError",
+      "RankKilledError",    "ScheduleDivergenceError", "PreemptedError",
   };
   return kTypes;
 }
@@ -279,6 +284,8 @@ void lint_tokens(const FileSource& f, const FileScope& scope,
 
   int depth = 0;                      // brace depth
   std::vector<int> live_span_depths;  // depths of live TraceSpan locals
+  std::vector<int> loop_body_depths;  // depths of open for/while/do bodies
+  std::set<std::size_t> loop_brace_idx;  // token indices of loop-body `{`
 
   for (std::size_t i = 0; i < t.size(); ++i) {
     const Token& tok = t[i];
@@ -291,15 +298,29 @@ void lint_tokens(const FileSource& f, const FileScope& scope,
                                 : std::string_view();
     };
 
-    if (tok.text == "{") ++depth;
+    if (tok.text == "{") {
+      ++depth;
+      if (loop_brace_idx.count(i) != 0) loop_body_depths.push_back(depth);
+    }
     if (tok.text == "}") {
       --depth;
       while (!live_span_depths.empty() && live_span_depths.back() > depth) {
         live_span_depths.pop_back();
       }
+      while (!loop_body_depths.empty() && loop_body_depths.back() > depth) {
+        loop_body_depths.pop_back();
+      }
     }
 
     if (tok.kind != TokKind::ident) continue;
+
+    // Mark the body brace of `for (...) {` / `while (...) {` / `do {` so the
+    // raw-retry-loop rule knows when a token sits lexically inside a loop.
+    if ((tok.text == "for" || tok.text == "while") && next_text(1) == "(") {
+      const std::size_t after = after_matching_paren(t, i + 1);
+      if (after < t.size() && t[after].text == "{") loop_brace_idx.insert(after);
+    }
+    if (tok.text == "do" && next_text(1) == "{") loop_brace_idx.insert(i + 1);
 
     // -- no-cout ----------------------------------------------------------
     if (scope.library &&
@@ -368,6 +389,22 @@ void lint_tokens(const FileSource& f, const FileScope& scope,
             "(comm/errors.hpp et al.), got: " +
                 (last_ident.empty() ? std::string("<expression>")
                                     : last_ident));
+      }
+      continue;
+    }
+
+    // -- raw-retry-loop ---------------------------------------------------
+    if (scope.library && !scope.fault && tok.text == "catch" &&
+        next_text(1) == "(" && !loop_body_depths.empty()) {
+      const std::size_t after = after_matching_paren(t, i + 1);
+      for (std::size_t j = i + 2; j < after; ++j) {
+        if (t[j].text == "CommError") {
+          add(tok.line, "raw-retry-loop",
+              "hand-rolled retry: catch of comm::CommError inside a loop; "
+              "route retries through fault::with_retry (bounded, "
+              "deterministic, counted) or serve::RetryPolicy");
+          break;
+        }
       }
       continue;
     }
