@@ -1,0 +1,8 @@
+// Seeded fixture: an analyze allow directive with no written reason. The
+// justification is mandatory, so exactly one allow-syntax finding fires.
+namespace rahooi {
+
+// rahooi-analyze: allow(lock-cycle)
+void placeholder() {}
+
+}  // namespace rahooi

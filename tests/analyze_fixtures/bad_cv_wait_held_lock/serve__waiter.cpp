@@ -1,0 +1,19 @@
+// Seeded fixture: a condition-variable wait that releases the waited lock
+// (g_queue_mu) but keeps holding a second one (g_admit_mu) across the
+// sleep. Exactly one cv-wait-held-lock finding fires at the wait.
+#include <condition_variable>
+#include <mutex>
+
+namespace rahooi {
+
+extern std::mutex g_admit_mu;
+extern std::mutex g_queue_mu;
+extern std::condition_variable g_queue_cv;
+
+void wait_for_work() {
+  std::unique_lock<std::mutex> admit(g_admit_mu);
+  std::unique_lock<std::mutex> queue(g_queue_mu);
+  g_queue_cv.wait(queue);
+}
+
+}  // namespace rahooi

@@ -1,0 +1,15 @@
+// The guard factory: returns an RAII guard by value. Returning one is
+// fine; the bug is the caller in core__caller.cpp that drops it on the
+// floor.
+namespace rahooi {
+namespace comm {
+struct CollectiveGuard {
+  explicit CollectiveGuard(int token);
+};
+}  // namespace comm
+
+comm::CollectiveGuard hold_collective(int token) {
+  return comm::CollectiveGuard(token);
+}
+
+}  // namespace rahooi

@@ -1,0 +1,21 @@
+// The reverse ordering: g_mu_b is taken first here, then g_mu_a through
+// take_a() — closing the cycle opened in serve__ab.cpp.
+#include <mutex>
+
+namespace rahooi {
+
+extern std::mutex g_mu_b;
+void take_a();
+
+void take_b(int work) {
+  std::lock_guard<std::mutex> lb(g_mu_b);
+  (void)work;
+}
+
+void b_then_a(int work) {
+  std::lock_guard<std::mutex> lb(g_mu_b);
+  take_a();
+  (void)work;
+}
+
+}  // namespace rahooi

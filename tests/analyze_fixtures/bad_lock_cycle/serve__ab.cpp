@@ -1,0 +1,18 @@
+// Seeded fixture: together with comm__ba.cpp this forms a two-lock
+// ordering cycle (g_mu_a -> g_mu_b here, g_mu_b -> g_mu_a there), visible
+// only across translation units. Exactly one lock-cycle finding fires.
+#include <mutex>
+
+namespace rahooi {
+
+extern std::mutex g_mu_a;
+void take_b(int work);
+
+void take_a() { std::lock_guard<std::mutex> la(g_mu_a); }
+
+void a_then_b(int work) {
+  std::lock_guard<std::mutex> la(g_mu_a);
+  take_b(work);
+}
+
+}  // namespace rahooi

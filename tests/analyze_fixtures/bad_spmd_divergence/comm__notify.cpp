@@ -1,0 +1,12 @@
+// The callee: a perfectly ordinary spanned collective — clean on its own.
+// The divergence is only visible once the rank-guarded caller in
+// core__driver.cpp is linked to it through the call graph.
+namespace rahooi {
+
+void notify_root(comm::Comm& world) {
+  prof::TraceSpan span("notify");
+  int token = 1;
+  world.bcast(&token, 1, 0);
+}
+
+}  // namespace rahooi

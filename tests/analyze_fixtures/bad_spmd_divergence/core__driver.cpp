@@ -1,0 +1,16 @@
+// Seeded fixture: a call under rank-dependent control flow reaches a
+// collective defined in another translation unit (comm__notify.cpp).
+// Exactly one spmd-divergence finding fires at the call site below.
+namespace rahooi {
+namespace comm { class Comm; }
+
+void notify_root(comm::Comm& world);
+
+void drive(comm::Comm& world, int root_flag) {
+  prof::TraceSpan span("drive");
+  if (world.rank() == 0 && root_flag != 0) {
+    notify_root(world);
+  }
+}
+
+}  // namespace rahooi

@@ -1,0 +1,15 @@
+// Clean fixture: a deliberately rank-guarded collective carrying a
+// sanctioned suppression with a written reason analyzes clean — it is
+// counted as suppressed, not reported as a finding.
+namespace rahooi {
+namespace comm { class Comm; }
+
+void announce(comm::Comm& world, int generation) {
+  prof::TraceSpan span("announce");
+  if (world.rank() == 0) {
+    // rahooi-analyze: allow(spmd-divergence: fixture exercises suppression; non-root ranks post the matching bcast from their barrier epilogue)
+    world.bcast(&generation, 1, 0);
+  }
+}
+
+}  // namespace rahooi

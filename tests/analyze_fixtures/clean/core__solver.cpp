@@ -1,0 +1,25 @@
+// Clean fixture: rank-dependent control flow is fine as long as no
+// collective schedule depends on it. The rank-0 verdict below is
+// replicated with a bcast before it steers control flow (the untaint
+// path), and the rank-guarded branch only does local work.
+namespace rahooi {
+namespace comm { class Comm; }
+
+double local_norm(const double* x, int n);
+
+double converge_step(comm::Comm& world, const double* x, int n, double tol) {
+  prof::TraceSpan span("converge");
+  double nrm = local_norm(x, n);
+  int stop = (world.rank() == 0 && nrm < tol) ? 1 : 0;
+  world.bcast(&stop, 1, 0);
+  if (stop != 0) {
+    return nrm;
+  }
+  if (world.rank() == 0) {
+    nrm = nrm * 0.5;
+  }
+  world.allreduce_scalar(nrm);
+  return nrm;
+}
+
+}  // namespace rahooi

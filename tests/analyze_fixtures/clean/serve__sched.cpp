@@ -1,0 +1,35 @@
+// Clean fixture: a consistent lock order (admit before queue), a cv-wait
+// holding exactly the waited lock, and the scheduler's unlock-around-work
+// pattern all analyze clean — the explicit unlock()/lock() on the guard is
+// modeled, so calling into run_admitted() creates no reverse lock edge.
+#include <condition_variable>
+#include <mutex>
+
+namespace rahooi {
+
+extern std::mutex g_admit_mu;
+extern std::mutex g_queue_mu;
+extern std::condition_variable g_work_cv;
+
+void run_admitted(int job);
+
+void admit_then_queue(int job) {
+  std::lock_guard<std::mutex> admit(g_admit_mu);
+  std::lock_guard<std::mutex> queue(g_queue_mu);
+  (void)job;
+}
+
+void worker(int job) {
+  std::unique_lock<std::mutex> queue(g_queue_mu);
+  g_work_cv.wait(queue);
+  queue.unlock();
+  run_admitted(job);
+  queue.lock();
+}
+
+void run_admitted(int job) {
+  std::lock_guard<std::mutex> admit(g_admit_mu);
+  (void)job;
+}
+
+}  // namespace rahooi

@@ -1,0 +1,6 @@
+// Seeded violation fixture: an allow directive with no written reason.
+// The justification is mandatory, so this yields exactly one allow-syntax
+// violation (the directive names a real rule but suppresses nothing).
+
+// rahooi-lint: allow(no-sleep)
+void quiet_function() {}

@@ -1,0 +1,8 @@
+// Clean fixture: a violation covered by a sanctioned suppression with a
+// written reason lints clean (it is counted as suppressed, not reported).
+#include <cstdio>
+
+void report_once() {
+  // rahooi-lint: allow(no-cout: fixture demonstrating sanctioned suppression)
+  printf("fixture\n");
+}

@@ -1,10 +1,12 @@
-// rahooi_lint — the project's custom static lint pass (see
-// docs/STATIC_ANALYSIS.md for the rule catalogue and how to add a rule).
+// rahooi_lint — the project's custom single-file static lint pass (see
+// docs/STATIC_ANALYSIS.md for the rule catalogue and how to add a rule;
+// whole-program rules live in tools/rahooi_analyze).
 //
-// A deliberately small, dependency-free C++20 tool: it tokenizes the
-// project's sources (comments, string/char/raw-string literals, and
-// preprocessor lines handled; no preprocessing or name lookup) and enforces
-// project invariants that neither the compiler nor -Wall can see:
+// A deliberately small tool built on the shared tools/analyze_core
+// tokenizer: it tokenizes the project's sources (comments, string/char/
+// raw-string literals, and preprocessor lines handled; no preprocessing or
+// name lookup) and enforces project invariants that neither the compiler
+// nor -Wall can see:
 //
 //   no-cout            std::cout/std::cerr/printf in library code (src/) —
 //                      rank-replicated library code must never write to the
@@ -46,6 +48,13 @@
 //                      run under a live prof::TraceSpan opened in an
 //                      enclosing scope, so watchdog park reports and
 //                      schedule-divergence reports always carry a span path.
+//   allow-syntax       a `rahooi-lint: allow(...)` directive with an empty
+//                      reason or an unknown rule name — the written
+//                      justification is mandatory.
+//
+// Suppression: `// rahooi-lint: allow(rule: reason)` on the violation's
+// line or the line directly above suppresses that one violation; suppressed
+// counts are reported so carve-outs stay visible.
 //
 // Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
 //
@@ -55,166 +64,25 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
-#include <map>
 #include <set>
-#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "analyze_core/analyze_core.hpp"
 
 namespace {
 
 namespace fs = std::filesystem;
 
-// ---------------------------------------------------------------------------
-// Tokenizer
-// ---------------------------------------------------------------------------
-
-enum class TokKind { ident, number, punct, eof };
-
-struct Token {
-  TokKind kind = TokKind::eof;
-  std::string text;
-  int line = 1;
-};
-
-struct FileSource {
-  std::vector<Token> tokens;
-  /// Ordered #include targets (quotes/brackets stripped) with line numbers.
-  std::vector<std::pair<std::string, int>> includes;
-};
-
-bool ident_start(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
-}
-bool ident_char(char c) { return ident_start(c) || (c >= '0' && c <= '9'); }
-
-/// Tokenizes C++ source: skips comments, string/char literals (including raw
-/// strings), and preprocessor lines (capturing #include targets). Only "::"
-/// is lexed as a multi-character punctuator — no rule needs more.
-FileSource tokenize(const std::string& src) {
-  FileSource out;
-  const std::size_t n = src.size();
-  std::size_t i = 0;
-  int line = 1;
-  bool at_line_start = true;
-
-  const auto push = [&](TokKind kind, std::string text) {
-    out.tokens.push_back(Token{kind, std::move(text), line});
-  };
-
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      at_line_start = true;
-      continue;
-    }
-    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
-      ++i;
-      continue;
-    }
-    // Comments.
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      while (i < n && src[i] != '\n') ++i;
-      continue;
-    }
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      i += 2;
-      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
-        if (src[i] == '\n') ++line;
-        ++i;
-      }
-      i = i + 2 <= n ? i + 2 : n;
-      continue;
-    }
-    // Preprocessor line: capture #include target, then skip to end of line
-    // (honoring backslash continuations).
-    if (at_line_start && c == '#') {
-      std::size_t j = i + 1;
-      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
-      if (src.compare(j, 7, "include") == 0) {
-        j += 7;
-        while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
-        if (j < n && (src[j] == '"' || src[j] == '<')) {
-          const char close = src[j] == '"' ? '"' : '>';
-          const std::size_t start = j + 1;
-          std::size_t end = start;
-          while (end < n && src[end] != close && src[end] != '\n') ++end;
-          out.includes.emplace_back(src.substr(start, end - start), line);
-        }
-      }
-      while (i < n && src[i] != '\n') {
-        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
-          ++line;
-          i += 2;
-          continue;
-        }
-        ++i;
-      }
-      continue;
-    }
-    at_line_start = false;
-    // Raw string literal R"delim( ... )delim".
-    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-      std::size_t j = i + 2;
-      std::string delim;
-      while (j < n && src[j] != '(') delim += src[j++];
-      const std::string close = ")" + delim + "\"";
-      std::size_t end = src.find(close, j);
-      if (end == std::string::npos) end = n;
-      for (std::size_t k = i; k < std::min(end + close.size(), n); ++k) {
-        if (src[k] == '\n') ++line;
-      }
-      i = std::min(end + close.size(), n);
-      continue;
-    }
-    // String / char literal.
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      ++i;
-      while (i < n && src[i] != quote) {
-        if (src[i] == '\\' && i + 1 < n) ++i;
-        if (src[i] == '\n') ++line;  // unterminated; keep line count sane
-        ++i;
-      }
-      if (i < n) ++i;
-      continue;
-    }
-    if (ident_start(c)) {
-      std::size_t j = i;
-      while (j < n && ident_char(src[j])) ++j;
-      push(TokKind::ident, src.substr(i, j - i));
-      i = j;
-      continue;
-    }
-    if (c >= '0' && c <= '9') {
-      std::size_t j = i;
-      while (j < n && (ident_char(src[j]) || src[j] == '.' ||
-                       ((src[j] == '+' || src[j] == '-') && j > i &&
-                        (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
-        ++j;
-      }
-      push(TokKind::number, src.substr(i, j - i));
-      i = j;
-      continue;
-    }
-    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
-      push(TokKind::punct, "::");
-      i += 2;
-      continue;
-    }
-    push(TokKind::punct, std::string(1, c));
-    ++i;
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Rules
-// ---------------------------------------------------------------------------
+using analyze::after_matching_paren;
+using analyze::chain_start;
+using analyze::collective_methods;
+using analyze::FileSource;
+using analyze::match_allow;
+using analyze::taxonomy_types;
+using analyze::Token;
+using analyze::TokKind;
 
 struct Violation {
   std::string file;  ///< path as reported to the user
@@ -234,45 +102,14 @@ struct FileScope {
   fs::path real;          ///< on-disk path (sibling-header lookup)
 };
 
-const std::set<std::string>& taxonomy_types() {
-  static const std::set<std::string> kTypes{
-      "precondition_error", "numerical_error",  "checkpoint_error",
-      "AbortedError",       "TimeoutError",     "CommError",
-      "RankKilledError",    "ScheduleDivergenceError", "PreemptedError",
+const std::set<std::string>& lint_rules() {
+  static const std::set<std::string> kRules{
+      "no-cout",          "no-rand",         "no-naked-new",
+      "no-sleep",         "raw-steady-clock", "throw-taxonomy",
+      "raw-retry-loop",   "tracespan-discard", "include-order",
+      "collective-span",  "allow-syntax",
   };
-  return kTypes;
-}
-
-const std::set<std::string>& collective_methods() {
-  static const std::set<std::string> kMethods{
-      "barrier",   "bcast",      "reduce_sum",         "allreduce_sum",
-      "allreduce_scalar", "reduce_scatter_sum", "allgather",
-      "allgatherv", "alltoallv", "split",
-  };
-  return kMethods;
-}
-
-/// Index of the first token of the qualified-id chain ending at `i`
-/// (e.g. for `prof :: TraceSpan` with i at TraceSpan, returns the index of
-/// `prof`; handles a leading global `::` too).
-std::size_t chain_start(const std::vector<Token>& t, std::size_t i) {
-  while (i >= 2 && t[i - 1].text == "::" && t[i - 2].kind == TokKind::ident) {
-    i -= 2;
-  }
-  if (i >= 1 && t[i - 1].text == "::") --i;
-  return i;
-}
-
-/// Index of the token after the `)` matching the `(` at `open` (or
-/// tokens.size() when unbalanced).
-std::size_t after_matching_paren(const std::vector<Token>& t,
-                                 std::size_t open) {
-  int depth = 0;
-  for (std::size_t j = open; j < t.size(); ++j) {
-    if (t[j].text == "(") ++depth;
-    if (t[j].text == ")" && --depth == 0) return j + 1;
-  }
-  return t.size();
+  return kRules;
 }
 
 void lint_tokens(const FileSource& f, const FileScope& scope,
@@ -472,6 +309,39 @@ void lint_includes(const FileSource& f, const FileScope& scope,
   }
 }
 
+/// Directive hygiene (rule allow-syntax) + suppression of matching
+/// violations. Returns the number suppressed.
+std::size_t apply_allows(FileSource& f, const std::string& rel,
+                         std::vector<Violation>& vs) {
+  for (const analyze::AllowDirective& d : f.allows) {
+    if (d.tool != "lint") continue;
+    if (d.reason.empty()) {
+      vs.push_back(Violation{rel, d.line, "allow-syntax",
+                             "allow(" + d.rule +
+                                 ") has no reason; the justification is "
+                                 "mandatory (rahooi-lint: allow(rule: "
+                                 "reason))"});
+    } else if (lint_rules().count(d.rule) == 0) {
+      vs.push_back(Violation{
+          rel, d.line, "allow-syntax",
+          "allow names unknown rule '" + d.rule + "'"});
+    }
+  }
+  std::vector<Violation> kept;
+  std::size_t suppressed = 0;
+  for (Violation& v : vs) {
+    if (v.file == rel &&
+        match_allow(f.allows, "lint", v.rule, v.line) !=
+            static_cast<std::size_t>(-1)) {
+      ++suppressed;
+      continue;
+    }
+    kept.push_back(std::move(v));
+  }
+  vs = std::move(kept);
+  return suppressed;
+}
+
 // ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
@@ -495,27 +365,21 @@ FileScope make_scope(const fs::path& real, const std::string& rel) {
   return scope;
 }
 
-bool read_file(const fs::path& p, std::string& out) {
-  std::ifstream in(p, std::ios::binary);
-  if (!in.good()) return false;
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  out = buf.str();
-  return true;
-}
-
 int lint_file(const fs::path& real, const std::string& rel,
-              std::vector<Violation>& out) {
+              std::vector<Violation>& out, std::size_t& suppressed) {
   std::string src;
-  if (!read_file(real, src)) {
+  if (!analyze::read_file(real, src)) {
     std::fprintf(stderr, "rahooi_lint: cannot read %s\n",
                  real.string().c_str());
     return 2;
   }
-  const FileSource f = tokenize(src);
+  FileSource f = analyze::tokenize(src);
   const FileScope scope = make_scope(real, rel);
-  lint_tokens(f, scope, out);
-  lint_includes(f, scope, out);
+  std::vector<Violation> vs;
+  lint_tokens(f, scope, vs);
+  lint_includes(f, scope, vs);
+  suppressed += apply_allows(f, rel, vs);
+  for (Violation& v : vs) out.push_back(std::move(v));
   return 0;
 }
 
@@ -548,29 +412,35 @@ int run_lint(const fs::path& root, const std::vector<std::string>& paths) {
   std::sort(files.begin(), files.end());
 
   std::vector<Violation> violations;
+  std::size_t suppressed = 0;
   for (const fs::path& file : files) {
     std::error_code ec;
     fs::path rel = fs::relative(file, root, ec);
     const std::string rel_str =
         ec ? file.generic_string() : rel.generic_string();
-    if (const int rc = lint_file(file, rel_str, violations); rc != 0) {
+    if (const int rc = lint_file(file, rel_str, violations, suppressed);
+        rc != 0) {
       return rc;
     }
   }
   print_violations(violations);
   if (!violations.empty()) {
-    std::fprintf(stderr, "rahooi_lint: %zu violation(s) in %zu file(s)\n",
-                 violations.size(), files.size());
+    std::fprintf(stderr,
+                 "rahooi_lint: %zu violation(s) in %zu file(s) "
+                 "(%zu suppressed)\n",
+                 violations.size(), files.size(), suppressed);
     return 1;
   }
-  std::printf("rahooi_lint: %zu files clean\n", files.size());
+  std::printf("rahooi_lint: %zu files clean (%zu suppressed)\n",
+              files.size(), suppressed);
   return 0;
 }
 
 /// Fixture self-test: every tests/lint_fixtures/bad_<rule>.cpp must produce
 /// exactly one violation of rule <rule> (underscores map to dashes); every
-/// clean*.cpp/hpp must lint clean. Fixtures are linted as if they lived at
-/// src/core/<name> — the strictest scope, where every rule is active.
+/// clean*.cpp/hpp must lint clean (allow-suppressed violations count as
+/// clean). Fixtures are linted as if they lived at src/core/<name> — the
+/// strictest scope, where every rule is active.
 int run_self_test(const fs::path& dir) {
   std::error_code ec;
   if (!fs::is_directory(dir, ec)) {
@@ -592,8 +462,11 @@ int run_self_test(const fs::path& dir) {
     const std::string name = file.filename().string();
     const std::string stem = file.stem().string();
     std::vector<Violation> vs;
+    std::size_t suppressed = 0;
     const std::string rel = "src/core/" + name;
-    if (const int rc = lint_file(file, rel, vs); rc != 0) return rc;
+    if (const int rc = lint_file(file, rel, vs, suppressed); rc != 0) {
+      return rc;
+    }
 
     if (starts_with(stem, "bad_") && file.extension() == ".cpp") {
       std::string rule = stem.substr(4);
