@@ -32,6 +32,7 @@
 
 #include "common/stats.hpp"
 #include "io/param_file.hpp"
+#include "obs/merge_trace.hpp"
 #include "serve/serve.hpp"
 
 using namespace rahooi;
@@ -296,6 +297,93 @@ int main() {
     check_bitwise(victim_rep, victim_ref, "preempted victim");
     check_bitwise(kill_resume_rep, kill_ref, "kill-resume");
     check_bitwise(ra_resume_rep, ra_ref, "ra-resume");
+  }
+
+  // --- Phase 4: flight recorders of every faulted world ------------------
+  // Every job whose report records a failed or preempted attempt must carry
+  // a flight snapshot from *all* ranks of that world (a world fault drags
+  // every rank down), each timeline tagged with the job's trace id and
+  // gap-free in seq modulo the ring's dropped count. The union merges into
+  // one validated Chrome trace — the artifact CI uploads on failure.
+  {
+    struct FaultedJob {
+      const char* name;
+      const serve::SolveReport* rep;
+      int world;      // ranks of the faulted attempt's world
+      bool expect_fault_hit;  // a fault-injection rule fired in-world
+    };
+    const serve::SolveReport& doomed_rep = reports[2];
+    const serve::SolveReport& kill_fresh_rep = reports[1];
+    const serve::SolveReport& burst_rep = reports[3];
+    const std::vector<FaultedJob> faulted = {
+        {"victim", &victim_rep, 2, false},
+        {"kill-resume", &kill_resume_rep, 1, true},
+        {"kill-fresh", &kill_fresh_rep, 1, true},
+        {"doomed", &doomed_rep, 1, true},
+        {"burst", &burst_rep, 2, true},
+        {"ra-resume", &ra_resume_rep, 1, true},
+    };
+    std::vector<obs::JobTimeline> timelines;
+    for (const FaultedJob& fj : faulted) {
+      const serve::SolveReport& r = *fj.rep;
+      CHAOS_CHECK(r.trace_id != 0, "%s: no trace id\n", fj.name);
+      CHAOS_CHECK(r.flight.size() == std::size_t(fj.world),
+                  "%s: flight snapshots from %zu ranks, world had %d\n",
+                  fj.name, r.flight.size(), fj.world);
+      bool fault_hit_seen = false;
+      for (const obs::RankTimeline& tl : r.flight) {
+        CHAOS_CHECK(!tl.records.empty(), "%s: rank %d flight is empty\n",
+                    fj.name, tl.rank);
+        CHAOS_CHECK(tl.trace_id == r.trace_id,
+                    "%s: rank %d flight trace id mismatch\n", fj.name,
+                    tl.rank);
+        if (tl.records.empty()) continue;
+        // Quiesced snapshot (captured after the world joined): exactly the
+        // last min(total, capacity) records, contiguous.
+        CHAOS_CHECK(tl.records.front().seq == tl.dropped,
+                    "%s: rank %d flight starts at seq %llu, dropped %llu\n",
+                    fj.name, tl.rank,
+                    static_cast<unsigned long long>(tl.records.front().seq),
+                    static_cast<unsigned long long>(tl.dropped));
+        CHAOS_CHECK(tl.records.back().seq == tl.total - 1,
+                    "%s: rank %d flight ends at seq %llu, total %llu\n",
+                    fj.name, tl.rank,
+                    static_cast<unsigned long long>(tl.records.back().seq),
+                    static_cast<unsigned long long>(tl.total));
+        for (std::size_t i = 1; i < tl.records.size(); ++i) {
+          if (tl.records[i].seq != tl.records[i - 1].seq + 1) {
+            CHAOS_CHECK(false, "%s: rank %d flight has a seq gap at %zu\n",
+                        fj.name, tl.rank, i);
+            break;
+          }
+        }
+        for (const obs::Record& rec : tl.records) {
+          if (rec.kind == obs::RecordKind::fault_hit) fault_hit_seen = true;
+        }
+      }
+      if (fj.expect_fault_hit) {
+        CHAOS_CHECK(fault_hit_seen,
+                    "%s: no fault_hit record in any rank's flight\n",
+                    fj.name);
+      }
+      obs::JobTimeline jt;
+      jt.name = fj.name;
+      jt.trace_id = r.trace_id;
+      jt.ranks = r.flight;
+      timelines.push_back(std::move(jt));
+    }
+    // Fault-free jobs carry no flight diagnostics.
+    CHAOS_CHECK(urgent_rep.flight.empty(), "urgent: unexpected flight data\n");
+
+    const std::string trace = obs::merge_trace(timelines);
+    std::string trace_error;
+    CHAOS_CHECK(obs::validate_merged_trace(trace, timelines, &trace_error),
+                "merged flight trace invalid: %s\n", trace_error.c_str());
+    // Published for post-mortems (and the CI failure artifact).
+    if (std::FILE* tf = std::fopen("chaos_flight_trace.json", "w")) {
+      std::fwrite(trace.data(), 1, trace.size(), tf);
+      std::fclose(tf);
+    }
   }
 
   // --- SLO counters: exactly the plan, nothing unexplained ---------------

@@ -15,14 +15,26 @@
 // repo-root baseline (bench-diff ctest label). The counter fields and the
 // under-1% boolean are deterministic; the `*_seconds` and `throughput_*`
 // fields are emitted for the record but ignored by the gate.
+//
+// The soak doubles as the live-exporter acceptance check
+// (docs/OBSERVABILITY.md): an obs::Exporter publishes the exposition file
+// every 5 ms while the scheduler churns, and the bench scrapes it mid-run —
+// every scrape must parse clean, serve_queue_depth must read nonzero at
+// least once while the queue is saturated, and the final published counters
+// must equal the registry's exit values exactly.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "io/param_file.hpp"
+#include "obs/exporter.hpp"
 #include "serve/serve.hpp"
 
 using namespace rahooi;
@@ -48,6 +60,42 @@ double percentile(std::vector<double> v, double q) {
   return v[std::min(i, v.size() - 1)];
 }
 
+bool slurp(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+/// One mid-run scrape: read the exposition file and require it to validate.
+/// Remembers whether serve_queue_depth ever read nonzero.
+struct Scraper {
+  std::string path;
+  int scrapes = 0;
+  bool all_valid = true;
+  bool depth_nonzero_seen = false;
+  std::string first_error;
+
+  void scrape() {
+    std::string text;
+    if (!slurp(path, &text) || text.empty()) return;  // not yet published
+    ++scrapes;
+    std::string error;
+    if (!obs::validate_exposition(text, &error)) {
+      all_valid = false;
+      if (first_error.empty()) first_error = error;
+      return;
+    }
+    double depth = 0.0;
+    if (obs::exposition_value(text, "serve_queue_depth", &depth) &&
+        depth > 0.0) {
+      depth_nonzero_seen = true;
+    }
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -59,6 +107,20 @@ int main(int argc, char** argv) {
   opts.max_queue = 8;
   opts.start_paused = true;
   serve::Scheduler sched(opts);
+
+  // Live exporter under churn: publish the exposition every 5 ms while the
+  // soak runs; the Scraper below reads it back mid-run like a monitoring
+  // agent would.
+  Scraper scraper;
+  scraper.path = "bench_serve_scrape.prom";
+  obs::Exporter::Options eo;
+  eo.exposition_path = scraper.path;
+  eo.interval_ms = 5.0;
+  obs::Exporter exporter(eo, [&sched](metrics::Registry* reg,
+                                      obs::Status* status) {
+    *reg = sched.metrics();
+    *status = sched.status();
+  });
 
   // Phase 1: saturation. 16 unique jobs into a paused queue of 8 — the
   // shed/queued split is decided at submit time, independent of solve speed.
@@ -72,11 +134,21 @@ int main(int argc, char** argv) {
     if (i == 1) first = req;
     ids.push_back(sched.submit(std::move(req)));
   }
+  // The queue is saturated (8 jobs, dispatch paused): wait for a publish
+  // that must show nonzero depth.
+  const std::uint64_t pre = exporter.scrapes();
+  while (exporter.scrapes() < pre + 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  scraper.scrape();
   const double t0 = stats::now();
   sched.start();
   std::vector<serve::SolveReport> reports;
   reports.reserve(ids.size());
-  for (const auto id : ids) reports.push_back(sched.wait(id));
+  for (const auto id : ids) {
+    reports.push_back(sched.wait(id));
+    scraper.scrape();  // every mid-drain read must parse clean
+  }
   const double drain_seconds = stats::now() - t0;
 
   int completed = 0, shed = 0, other = 0;
@@ -112,6 +184,51 @@ int main(int argc, char** argv) {
 
   const metrics::Registry reg = sched.metrics();
   using metrics::Counter;
+
+  // Exporter acceptance: stop() publishes one final snapshot, which must
+  // equal the registry's exit counters exactly — the file a scraper is left
+  // holding is the same truth the process dumps.
+  exporter.stop();
+  scraper.scrape();
+  bool final_match = true;
+  {
+    std::string text;
+    if (!slurp(scraper.path, &text)) {
+      final_match = false;
+    } else {
+      const struct { const char* key; Counter c; } gated[] = {
+          {"counter{name=\"serve_submitted\"}", Counter::serve_submitted},
+          {"counter{name=\"serve_completed\"}", Counter::serve_completed},
+          {"counter{name=\"serve_cache_hits\"}", Counter::serve_cache_hits},
+          {"counter{name=\"serve_shed\"}", Counter::serve_shed},
+          {"counter{name=\"serve_failed\"}", Counter::serve_failed},
+      };
+      for (const auto& g : gated) {
+        double v = -1.0;
+        if (!obs::exposition_value(text, g.key, &v) ||
+            v != double(reg.counter(g.c))) {
+          std::fprintf(stderr,
+                       "bench_serve: final exposition %s = %g, registry "
+                       "says %llu\n",
+                       g.key, v,
+                       static_cast<unsigned long long>(reg.counter(g.c)));
+          final_match = false;
+        }
+      }
+    }
+  }
+  const bool scrape_ok = scraper.all_valid && scraper.depth_nonzero_seen &&
+                         scraper.scrapes > 0 && final_match;
+  std::printf(
+      "bench_serve: exporter soak %s (%d scrapes, all valid %s, queue depth "
+      "seen nonzero %s, final counters match %s)\n",
+      scrape_ok ? "PASS" : "FAIL", scraper.scrapes,
+      scraper.all_valid ? "yes" : "no",
+      scraper.depth_nonzero_seen ? "yes" : "no", final_match ? "yes" : "no");
+  if (!scraper.all_valid) {
+    std::fprintf(stderr, "bench_serve: invalid scrape: %s\n",
+                 scraper.first_error.c_str());
+  }
 
   std::printf(
       "bench_serve: %d submitted, %d completed, %d shed, %d cache hits; "
@@ -171,5 +288,5 @@ int main(int argc, char** argv) {
                  "(completed=%d shed=%d cache_hits=%d malformed=%d)\n",
                  completed, shed, cache_hits, other);
   }
-  return counts_ok && hit_under_1pct ? 0 : 1;
+  return counts_ok && hit_under_1pct && scrape_ok ? 0 : 1;
 }

@@ -9,9 +9,15 @@
 //
 //   ./metrics_lint <metrics.json> <events.jsonl>
 //                  [--require <key>]... [--nonzero <key>]...
+//   ./metrics_lint --exposition <file.prom> [--nonzero <key>]...
 //
 // Keys are given in raw (unescaped) form, e.g.
 //   --nonzero 'mem.peak_bytes{scope="dt_memo",stat="max"}'
+//
+// --exposition validates an obs::Exporter exposition file instead: the v1
+// header/trailer frame with matching scrape seq (torn-read detection), every
+// sample line `name{labels}? value` parseable and finite, plus any --nonzero
+// keys (raw dotted or exposition form) — the obs-smoke ctest entry point.
 
 #include <cstdio>
 #include <fstream>
@@ -20,6 +26,7 @@
 #include <vector>
 
 #include "metrics/report.hpp"
+#include "obs/exporter.hpp"
 
 namespace {
 
@@ -35,10 +42,49 @@ bool slurp(const char* path, std::string* out) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 3 && std::string(argv[1]) == "--exposition") {
+    std::string text;
+    if (!slurp(argv[2], &text)) {
+      std::fprintf(stderr, "metrics_lint: cannot open %s\n", argv[2]);
+      return 2;
+    }
+    std::string error;
+    if (!rahooi::obs::validate_exposition(text, &error)) {
+      std::fprintf(stderr, "metrics_lint: %s: %s\n", argv[2], error.c_str());
+      return 1;
+    }
+    std::size_t nonzero_checked = 0;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg != "--nonzero" || i + 1 >= argc) {
+        std::fprintf(stderr, "metrics_lint: unknown argument %s\n",
+                     arg.c_str());
+        return 2;
+      }
+      const std::string key = argv[++i];
+      double v = 0.0;
+      if (!rahooi::obs::exposition_value(text, key, &v)) {
+        std::fprintf(stderr, "metrics_lint: %s: missing sample %s\n", argv[2],
+                     key.c_str());
+        return 1;
+      }
+      if (v == 0.0) {
+        std::fprintf(stderr, "metrics_lint: %s: sample %s is zero\n", argv[2],
+                     key.c_str());
+        return 1;
+      }
+      ++nonzero_checked;
+    }
+    std::printf("metrics_lint: %s OK (exposition, %zu nonzero keys)\n",
+                argv[2], nonzero_checked);
+    return 0;
+  }
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: metrics_lint <metrics.json> <events.jsonl> "
-                 "[--require <key>]... [--nonzero <key>]...\n");
+                 "[--require <key>]... [--nonzero <key>]...\n"
+                 "       metrics_lint --exposition <file.prom> "
+                 "[--nonzero <key>]...\n");
     return 2;
   }
   std::vector<std::string> required, nonzero;

@@ -23,6 +23,9 @@
 // validates with examples/metrics_lint.
 
 #include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -33,6 +36,25 @@
 using namespace rahooi;
 
 namespace {
+
+/// Live status publishing (--status-out): the human table at `path`, the
+/// Prometheus-style exposition at `path`.prom, republished every
+/// `interval_ms` by an obs::Exporter fed from the scheduler's own
+/// status()/metrics() snapshots (docs/OBSERVABILITY.md "The live plane").
+std::unique_ptr<obs::Exporter> make_exporter(const serve::Scheduler& sched,
+                                             const std::string& status_out,
+                                             double interval_ms) {
+  if (status_out.empty()) return nullptr;
+  obs::Exporter::Options eo;
+  eo.status_path = status_out;
+  eo.exposition_path = status_out + ".prom";
+  eo.interval_ms = interval_ms;
+  return std::make_unique<obs::Exporter>(
+      eo, [&sched](metrics::Registry* reg, obs::Status* st) {
+        *reg = sched.metrics();
+        *st = sched.status();
+      });
+}
 
 int g_failures = 0;
 
@@ -82,13 +104,16 @@ void write_serve_metrics(const std::string& path, const serve::Scheduler& s) {
   examples::write_metrics_outputs(path, {reg});
 }
 
-int run_smoke(const std::string& metrics_out) {
+int run_smoke(const std::string& metrics_out, const std::string& status_out,
+              double status_interval_ms) {
   serve::ServeOptions opts;
   opts.pool_ranks = 4;
   opts.workers = 2;
   opts.max_queue = 4;
   opts.start_paused = true;
   serve::Scheduler sched(opts);
+  std::unique_ptr<obs::Exporter> exporter =
+      make_exporter(sched, status_out, status_interval_ms);
 
   // Batch 1 — admitted while dispatch is paused, so the admission decisions
   // (queue order, shedding) are independent of solve timing.
@@ -153,6 +178,26 @@ int run_smoke(const std::string& metrics_out) {
               "elastic job completes");
   SMOKE_CHECK(rep_e.elastic_grid, "grid-less request gets an elastic grid");
 
+  // Trace context: every report names its job's minted id, distinct per
+  // submission (the cache-hit replay is a different job, so a different id).
+  SMOKE_CHECK(rep_a.trace_id != 0 && rep_f.trace_id != 0,
+              "reports carry trace ids");
+  SMOKE_CHECK(rep_a.trace_id != rep_b.trace_id, "trace ids are distinct");
+  SMOKE_CHECK(rep_a2.trace_id != rep_a.trace_id,
+              "cache-hit replay mints its own trace id");
+  SMOKE_CHECK(rep_a.solve.trace_id == rep_a.trace_id,
+              "solver report ran under the job's trace context");
+  // Flight recorder: the killed world's post-mortem has one timeline per
+  // rank, each stamped with the job's trace id and non-empty.
+  SMOKE_CHECK(rep_f.flight.size() == 4,
+              "failed job captured all four rank timelines");
+  for (const obs::RankTimeline& tl : rep_f.flight) {
+    SMOKE_CHECK(!tl.records.empty(), "rank timeline is non-empty");
+    SMOKE_CHECK(tl.trace_id == rep_f.trace_id,
+                "rank timeline carries the job's trace id");
+  }
+  SMOKE_CHECK(rep_a.flight.empty(), "clean job carries no failure timelines");
+
   const metrics::Registry reg = sched.metrics();
   using metrics::Counter;
   SMOKE_CHECK(reg.counter(Counter::serve_submitted) == 7, "submitted = 7");
@@ -165,7 +210,29 @@ int run_smoke(const std::string& metrics_out) {
   SMOKE_CHECK(reg.serve_queue().peak >= 4.0, "queue gauge saw the backlog");
   SMOKE_CHECK(reg.serve_queue().live == 0.0, "queue gauge drains to zero");
   SMOKE_CHECK(reg.events().size() == 7, "one telemetry event per job");
+  for (const metrics::Event& ev : reg.events()) {
+    SMOKE_CHECK(ev.trace_id != 0, "serve event carries a trace id");
+  }
 
+  if (exporter != nullptr) {
+    // Final publish happens inside stop(), so the files on disk now show
+    // exactly the terminal counters asserted above; the exposition must
+    // survive its own torn-read validator.
+    exporter->stop();
+    SMOKE_CHECK(exporter->scrapes() >= 1, "exporter published at least once");
+    std::ifstream in(status_out + ".prom");
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string verr;
+    SMOKE_CHECK(obs::validate_exposition(buf.str(), &verr),
+                "published exposition validates");
+    if (!verr.empty()) std::printf("  exposition error: %s\n", verr.c_str());
+    double v = 0.0;
+    SMOKE_CHECK(obs::exposition_value(
+                    buf.str(), "counter{name=\"serve_submitted\"}", &v) &&
+                    v == 7.0,
+                "exposition shows the terminal submitted counter");
+  }
   if (!metrics_out.empty()) write_serve_metrics(metrics_out, sched);
 
   std::printf("serve smoke: %s (%d failures)\n",
@@ -174,23 +241,36 @@ int run_smoke(const std::string& metrics_out) {
 }
 
 int run_files(const std::vector<std::string>& files, int pool, int workers,
-              std::size_t queue, const std::string& metrics_out) {
+              std::size_t queue, const std::string& metrics_out,
+              std::string status_out, double status_interval_ms) {
   serve::ServeOptions opts;
   opts.pool_ranks = pool;
   opts.workers = workers;
   opts.max_queue = queue;
   serve::Scheduler sched(opts);
+  std::vector<serve::SolveRequest> reqs;
   for (const std::string& path : files) {
     serve::SolveRequest req;
     req.name = path;
     req.params = io::ParamFile::load(path);
-    sched.submit(std::move(req));
+    // The first job file may also configure the status publisher (the keys
+    // are pool-scoped, not result-affecting: cache_key = false).
+    if (status_out.empty() && req.params.has("Serve status file")) {
+      status_out = req.params.get_string("Serve status file");
+      status_interval_ms =
+          req.params.get_double("Serve status interval ms", 250.0);
+    }
+    reqs.push_back(std::move(req));
   }
+  std::unique_ptr<obs::Exporter> exporter =
+      make_exporter(sched, status_out, status_interval_ms);
+  for (serve::SolveRequest& req : reqs) sched.submit(std::move(req));
   int failures = 0;
   for (const serve::SolveReport& r : sched.drain()) {
     print_report(r);
     if (!r.ok()) ++failures;
   }
+  if (exporter != nullptr) exporter->stop();
   if (!metrics_out.empty()) write_serve_metrics(metrics_out, sched);
   return failures == 0 ? 0 : 1;
 }
@@ -203,21 +283,30 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: serve_driver [--pool N] [--workers N] [--queue N]\n"
           "                    [--metrics-out <metrics.json>]\n"
+          "                    [--status-out <path>] [--status-interval-ms N]\n"
           "                    <job.cfg> [<job.cfg> ...]\n"
           "       serve_driver --smoke [--metrics-out <metrics.json>]\n"
+          "                    [--status-out <path>]\n"
           "\n"
           "Submits one Tucker-decomposition job per parameter file to a\n"
           "shared rahooi::serve::Scheduler and reports every outcome\n"
           "(docs/SERVING.md). --smoke runs the deterministic multi-tenant\n"
           "admission/fault/deadline/cache scenario used by the serve-smoke\n"
-          "ctest.\n\n%s",
+          "ctest. --status-out publishes a live human status table there\n"
+          "and a Prometheus-style exposition at <path>.prom, atomically\n"
+          "republished every --status-interval-ms (docs/OBSERVABILITY.md).\n"
+          "\n%s",
           io::param_help("serve").c_str());
       return 0;
     }
     const std::string metrics_out =
         examples::arg_value(argc, argv, "--metrics-out", "");
+    const std::string status_out =
+        examples::arg_value(argc, argv, "--status-out", "");
+    const double status_interval_ms = std::stod(
+        examples::arg_value(argc, argv, "--status-interval-ms", "250"));
     if (examples::has_flag(argc, argv, "--smoke")) {
-      return run_smoke(metrics_out);
+      return run_smoke(metrics_out, status_out, status_interval_ms);
     }
     const int pool = static_cast<int>(
         std::stol(examples::arg_value(argc, argv, "--pool", "8")));
@@ -229,7 +318,8 @@ int main(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--pool" || arg == "--workers" || arg == "--queue" ||
-          arg == "--metrics-out") {
+          arg == "--metrics-out" || arg == "--status-out" ||
+          arg == "--status-interval-ms") {
         ++i;
         continue;
       }
@@ -238,7 +328,8 @@ int main(int argc, char** argv) {
     }
     RAHOOI_REQUIRE(!files.empty(),
                    "no parameter files given (serve_driver --help)");
-    return run_files(files, pool, workers, queue, metrics_out);
+    return run_files(files, pool, workers, queue, metrics_out, status_out,
+                     status_interval_ms);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

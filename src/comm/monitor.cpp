@@ -18,8 +18,17 @@ thread_local int tls_world_rank = -1;
 }  // namespace
 
 Monitor::Monitor(int world_size)
-    : world_size_(world_size), slots_(world_size) {
+    : world_size_(world_size),
+      slots_(world_size),
+      recorders_(world_size, nullptr) {
   RAHOOI_REQUIRE(world_size >= 1, "monitor needs at least one rank");
+}
+
+void Monitor::set_flight_recorder(int world_rank,
+                                  const obs::FlightRecorder* fr) {
+  if (world_rank < 0 || world_rank >= world_size_) return;
+  std::lock_guard lock(mutex_);
+  recorders_[std::size_t(world_rank)] = fr;
 }
 
 bool Monitor::raise_abort(int origin_rank, const std::string& what) {
@@ -71,17 +80,43 @@ void Monitor::unpark(int world_rank) {
 
 std::string Monitor::park_report() const {
   const double now = stats::now();
+  std::vector<const obs::FlightRecorder*> recorders;
+  {
+    std::lock_guard lock(mutex_);
+    recorders = recorders_;
+  }
   std::ostringstream os;
   for (int r = 0; r < world_size_; ++r) {
     const ParkSlot& slot = slots_[r];
-    std::lock_guard lock(slot.m);
-    os << "  rank " << r << ": ";
-    if (slot.op != nullptr) {
-      os << "parked in " << slot.op << " for " << (now - slot.since) << "s";
-      if (!slot.path.empty()) os << " at span " << slot.path;
-    } else {
-      os << "not in a collective (" << slot.entered
-         << " collectives entered)";
+    {
+      std::lock_guard lock(slot.m);
+      os << "  rank " << r << ": ";
+      if (slot.op != nullptr) {
+        os << "parked in " << slot.op << " for " << (now - slot.since) << "s";
+        if (!slot.path.empty()) os << " at span " << slot.path;
+      } else {
+        os << "not in a collective (" << slot.entered
+           << " collectives entered)";
+      }
+      os << '\n';
+    }
+    // Tail of the rank's flight-recorder ring: the last few span /
+    // collective / fault records, newest last. Best-effort lock-free read —
+    // the rank thread may still be writing.
+    const obs::FlightRecorder* fr = recorders[std::size_t(r)];
+    if (fr == nullptr) continue;
+    const std::vector<obs::Record> records = fr->snapshot();
+    if (records.empty()) continue;
+    constexpr std::size_t kTail = 6;
+    const std::size_t begin =
+        records.size() > kTail ? records.size() - kTail : 0;
+    os << "    flight tail (" << fr->total() << " recorded, "
+       << fr->dropped() << " dropped):";
+    for (std::size_t i = begin; i < records.size(); ++i) {
+      const obs::Record& rec = records[i];
+      os << ' ' << obs::record_kind_name(rec.kind);
+      if (rec.op[0] != '\0') os << ':' << rec.op;
+      os << "[" << rec.seq << "]";
     }
     os << '\n';
   }
@@ -134,6 +169,9 @@ CollectiveGuard::CollectiveGuard(const Context* ctx, int comm_rank,
       }
     }
     mon_->park(world_rank_, op, std::move(path));
+  }
+  if (obs::FlightRecorder* fr = obs::flight_recorder()) {
+    fr->record(obs::RecordKind::collective_post, op);
   }
   fault::with_retry([&] { fault::inject_point(op, world_rank_); });
 }

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "comm/errors.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace rahooi::comm {
 
@@ -38,6 +39,10 @@ struct RankFailure {
   int rank = -1;
   bool root_cause = false;  ///< this rank's error is the one rethrown
   std::string what;
+  /// The rank's flight-recorder timeline at unwind — what the rank was
+  /// doing in its last ~256 events (docs/OBSERVABILITY.md). Always
+  /// populated by Runtime::run; recording is on for every rank thread.
+  obs::RankTimeline flight;
 };
 
 class Monitor {
@@ -91,8 +96,17 @@ class Monitor {
   void unpark(int world_rank);
 
   /// Human-readable snapshot of where every rank currently is — the
-  /// diagnostic a firing watchdog attaches to its TimeoutError.
+  /// diagnostic a firing watchdog attaches to its TimeoutError. When flight
+  /// recorders are registered, each rank's line is followed by the tail of
+  /// its recorder ring (last few span/collective/fault records).
   std::string park_report() const;
+
+  // -- flight recorders ----------------------------------------------------
+
+  /// Registers `world_rank`'s flight recorder so park_report() can render
+  /// its tail. The recorder must outlive the world's rank threads (it lives
+  /// in Runtime::run's frame, like the stats store). nullptr deregisters.
+  void set_flight_recorder(int world_rank, const obs::FlightRecorder* fr);
 
   // -- context wakeup registration ----------------------------------------
 
@@ -120,6 +134,9 @@ class Monitor {
   std::string what_;
   std::vector<std::weak_ptr<Context>> contexts_;
   std::vector<ParkSlot> slots_;  ///< fixed size world_size_, never resized
+  /// Per-rank flight recorders for park_report (guarded by mutex_; reads of
+  /// the recorders themselves are lock-free snapshots).
+  std::vector<const obs::FlightRecorder*> recorders_;
 };
 
 /// Binds the calling thread to its (monitor, world rank) for the lifetime of

@@ -9,6 +9,7 @@
 
 #include "common/contracts.hpp"
 #include "fault/fault.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace rahooi::comm {
 
@@ -86,17 +87,30 @@ void Runtime::run(int p, const std::function<void(Comm&)>& fn,
   std::vector<prof::Recorder> trace_store(rank_traces != nullptr ? p : 0);
   std::vector<metrics::Registry> metrics_store(
       options.rank_metrics != nullptr ? p : 0);
+  // Always-on flight recorders: one fixed-size ring per rank, registered
+  // with the monitor so a firing watchdog can render every rank's tail, and
+  // snapshotted into the failure report after the join.
+  std::vector<obs::FlightRecorder> flight_store(p);
   std::vector<std::exception_ptr> errors(p);
   std::vector<std::thread> threads;
   threads.reserve(p);
 
   for (int r = 0; r < p; ++r) {
+    flight_store[r].set_rank(r);
+    flight_store[r].set_trace_id(options.trace_id);
+    monitor->set_flight_recorder(r, &flight_store[r]);
+  }
+
+  for (int r = 0; r < p; ++r) {
     threads.emplace_back([&, r] {
       ScopedStats tracked(stats_store[r]);
       ScopedRankBinding bound(*monitor, r);
+      obs::ScopedFlightRecorder flight(flight_store[r]);
+      obs::ScopedTraceContext traced_as(options.trace_id);
       std::optional<prof::ScopedRecorder> traced;
       if (rank_traces != nullptr) {
         trace_store[r].set_rank(r);
+        trace_store[r].set_trace_id(options.trace_id);
         traced.emplace(trace_store[r]);
       }
       std::optional<metrics::ScopedRegistry> metered;
@@ -168,6 +182,9 @@ void Runtime::run(int p, const std::function<void(Comm&)>& fn,
       f.rank = r;
       f.root_cause = (r == root);
       f.what = classified[r].what;
+      // Quiesced snapshot (all rank threads are joined): exact, gap-free
+      // modulo the ring's dropped count.
+      f.flight = flight_store[r].timeline();
       options.failures->push_back(std::move(f));
     }
   }

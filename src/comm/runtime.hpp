@@ -52,6 +52,14 @@ struct RunOptions {
   /// same Plan (retry attempts see prior attempts' counts). The pointee
   /// must outlive run().
   const fault::Plan* fault_plan = nullptr;
+
+  /// Trace context for this world (docs/OBSERVABILITY.md). Nonzero: every
+  /// rank thread runs under obs::ScopedTraceContext(trace_id), so each
+  /// metrics event, prof recorder, solver report, and flight-recorder
+  /// timeline produced inside carries the id — the serve scheduler mints
+  /// one per job and joins serve-level and rank-level telemetry with it.
+  /// 0 (default): no trace context.
+  std::uint64_t trace_id = 0;
 };
 
 class Runtime {

@@ -230,6 +230,10 @@ void save_checkpoint(const std::string& path, const SweepCheckpoint<T>& ck) {
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw checkpoint_error("cannot rename checkpoint into place: " + path);
   }
+  if (obs::FlightRecorder* fr = obs::flight_recorder()) {
+    fr->record(obs::RecordKind::checkpoint, "save",
+               static_cast<double>(payload.size()));
+  }
 }
 
 template <typename T>
@@ -260,6 +264,9 @@ SweepCheckpoint<T> load_checkpoint(const std::string& path) {
   SweepCheckpoint<T> ck = deserialize<T>(r, version);
   if (!r.exhausted()) {
     throw checkpoint_error("checkpoint has trailing bytes: " + path);
+  }
+  if (obs::FlightRecorder* fr = obs::flight_recorder()) {
+    fr->record(obs::RecordKind::checkpoint, "restore");
   }
   return ck;
 }

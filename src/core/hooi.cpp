@@ -373,6 +373,9 @@ HooiResult<T> hooi(const dist::DistTensor<T>& x,
                       : 0;
       x.grid().world().bcast(&yield, 1, 0);
       if (yield != 0) {
+        if (obs::FlightRecorder* fr = obs::flight_recorder()) {
+          fr->record(obs::RecordKind::yield, "sweep", double(iter));
+        }
         throw PreemptedError("hooi yielded after sweep " +
                              std::to_string(iter));
       }
@@ -443,6 +446,7 @@ HooiResult<T> hooi(const dist::DistTensor<T>& x,
         mreg->counter(metrics::Counter::fault_retries) - retries0;
     out.report.metrics_snapshot = metrics::snapshot(*mreg);
   }
+  out.report.trace_id = obs::trace_id();
   return out;
 }
 

@@ -438,6 +438,7 @@ RankAdaptiveResult<T> rank_adaptive_hooi(
         mreg->counter(metrics::Counter::fault_retries) - retries0;
     out.report.metrics_snapshot = metrics::snapshot(*mreg);
   }
+  out.report.trace_id = obs::trace_id();
   return out;
 }
 

@@ -44,6 +44,11 @@ struct SolveReport {
   /// metrics are off.
   std::vector<metrics::Sample> metrics_snapshot;
 
+  /// Trace context the solve ran under (obs::trace_id() at solver exit; 0
+  /// outside any context). Under serve this is the job's minted id, so the
+  /// report joins with the job's metrics events and rank flight timelines.
+  std::uint64_t trace_id = 0;
+
   void record(int sweep, int mode, std::string kind, std::string detail) {
     events.push_back(
         SolveEvent{sweep, mode, std::move(kind), std::move(detail)});

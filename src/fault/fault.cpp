@@ -8,6 +8,7 @@
 
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace rahooi::fault {
 
@@ -199,6 +200,12 @@ void inject_point(const char* op, int rank) {
     if (rs.rule.action == Action::bitflip) continue;
     if (!Plan::Impl::site_matches(rs.rule, op, rank)) continue;
     if (!Plan::Impl::consume(rs)) continue;
+    // The rule fired: leave a flight-recorder mark before acting, so the
+    // post-mortem timeline shows the injection site even when the action
+    // throws and unwinds the rank.
+    if (obs::FlightRecorder* fr = obs::flight_recorder()) {
+      fr->record(obs::RecordKind::fault_hit, op);
+    }
     switch (rs.rule.action) {
       case Action::delay:
         sleep_ms(rs.rule.delay_ms);
@@ -222,6 +229,9 @@ void inject_payload(const char* op, int rank, void* data, std::size_t bytes) {
     if (rs.rule.action != Action::bitflip) continue;
     if (!Plan::Impl::site_matches(rs.rule, op, rank)) continue;
     if (!Plan::Impl::consume(rs)) continue;
+    if (obs::FlightRecorder* fr = obs::flight_recorder()) {
+      fr->record(obs::RecordKind::fault_hit, op, double(bytes));
+    }
     std::uint64_t bit = rs.rule.bit;
     if (bit == Rule::kRandomBit) {
       const std::uint64_t n =

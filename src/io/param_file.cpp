@@ -213,6 +213,10 @@ const std::vector<ParamKey>& param_key_table() {
        "additive retry jitter bound, drawn from the counter-based RNG"},
       {"Serve keep checkpoint", "bool", "false", "serve", false,
        "keep the job checkpoint after successful completion"},
+      {"Serve status file", "string", "", "serve", false,
+       "publish the live status table here (exposition at <path>.prom)"},
+      {"Serve status interval ms", "double", "250", "serve", false,
+       "obs::Exporter publish period for the status/exposition files"},
       // -- input/output and reporting (never result-affecting) -------------
       {"Output file", "string", "", "hooi,sthosvd", false,
        "write the compressed Tucker tensor here"},

@@ -89,6 +89,34 @@ std::size_t Histogram::bucket_of(double v) {
   return static_cast<std::size_t>(idx);
 }
 
+double Histogram::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // Walk the cumulative distribution to the bucket containing the target
+  // rank, then interpolate linearly inside the bucket's value range
+  // (uniform-within-bucket assumption — exact at bucket edges, at worst a
+  // factor-of-2 wide estimate, the log2 scheme's resolution).
+  const double target = q * double(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double next = cum + double(buckets[i]);
+    if (next >= target) {
+      const double lo =
+          i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) + kMinExponent);
+      const double hi = std::ldexp(1.0, static_cast<int>(i) + kMinExponent + 1);
+      const double frac = (target - cum) / double(buckets[i]);
+      double v = lo + frac * (hi - lo);
+      if (v < min) v = min;
+      if (v > max) v = max;
+      return v;
+    }
+    cum = next;
+  }
+  return max;
+}
+
 void Registry::clear() {
   collectives_ = {};
   gauges_ = {};

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace rahooi::metrics {
 
@@ -101,6 +102,13 @@ struct Histogram {
   }
 
   double mean() const { return count == 0 ? 0.0 : sum / double(count); }
+
+  /// Estimated q-quantile (q in [0, 1]) by cumulative bucket walk with
+  /// linear interpolation inside the landing bucket [2^(i-32), 2^(i-31)),
+  /// clamped to the observed [min, max] — so p50/p95/p99 come out of the
+  /// log2 buckets without storing samples (docs/OBSERVABILITY.md). Returns
+  /// 0 for an empty histogram.
+  double quantile(double q) const;
 };
 
 /// Gauge with high-water tracking. `live` may transiently underflow if a
@@ -158,6 +166,11 @@ struct Event {
   std::uint64_t fallbacks = 0;  ///< LLSV fallback decisions during this step
   bool llsv_fallback = false;   ///< any fallback used during this step
   bool satisfied = false;       ///< RA tolerance satisfied after this step
+  /// Trace context the event was emitted under (docs/OBSERVABILITY.md): 0
+  /// outside any context; under a serve job's world, the job's minted id.
+  /// Filled automatically by Registry::add_event from the thread's
+  /// obs::trace_id() unless the emitter set it explicitly.
+  std::uint64_t trace_id = 0;
   std::string detail;
 };
 
@@ -230,8 +243,13 @@ class Registry {
   void add_named(const std::string& name, double v) { named_[name] += v; }
   const std::map<std::string, double>& named() const { return named_; }
 
-  // Telemetry events.
-  void add_event(Event e) { events_.push_back(std::move(e)); }
+  // Telemetry events. Every event is tagged with the emitting thread's
+  // trace context (unless the emitter already set one) — the central join
+  // point that makes the JSONL log filterable per serve job.
+  void add_event(Event e) {
+    if (e.trace_id == 0) e.trace_id = obs::trace_id();
+    events_.push_back(std::move(e));
+  }
   const std::vector<Event>& events() const { return events_; }
 
   void clear();
@@ -407,6 +425,12 @@ class CollectiveTimer {
   CollectiveTimer() : reg_(registry()), t0_(reg_ ? stats::now() : 0.0) {}
 
   void record(CollectiveKind kind, double bytes) const {
+    // Collective-complete edge for the flight recorder (the matching post
+    // edge is recorded by CollectiveGuard): carries the payload bytes.
+    if (obs::FlightRecorder* fr = obs::flight_recorder()) {
+      fr->record(obs::RecordKind::collective_complete, collective_name(kind),
+                 bytes);
+    }
     if (reg_ != nullptr) {
       reg_->record_collective(kind, bytes, stats::now() - t0_);
     }

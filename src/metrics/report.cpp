@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "common/contracts.hpp"
+#include "obs/merge_trace.hpp"
 #include "prof/report.hpp"
 
 namespace rahooi::metrics {
@@ -96,6 +97,9 @@ std::vector<Sample> snapshot(const Registry& r) {
     add("comm.seconds.sum" + labels, m.seconds.sum);
     add("comm.seconds.min" + labels, m.seconds.min);
     add("comm.seconds.max" + labels, m.seconds.max);
+    add("comm.seconds.p50" + labels, m.seconds.quantile(0.50));
+    add("comm.seconds.p95" + labels, m.seconds.quantile(0.95));
+    add("comm.seconds.p99" + labels, m.seconds.quantile(0.99));
     for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
       const int pow2 = static_cast<int>(b) + Histogram::kMinExponent;
       if (m.bytes.buckets[b] != 0) {
@@ -137,6 +141,9 @@ std::vector<Sample> snapshot(const Registry& r) {
     add("serve.seconds.sum" + labels, h.sum);
     add("serve.seconds.min" + labels, h.min);
     add("serve.seconds.max" + labels, h.max);
+    add("serve.seconds.p50" + labels, h.quantile(0.50));
+    add("serve.seconds.p95" + labels, h.quantile(0.95));
+    add("serve.seconds.p99" + labels, h.quantile(0.99));
   }
 
   for (int c = 0; c < kCounterCount; ++c) {
@@ -247,6 +254,7 @@ std::string event_json(const Event& e) {
      << ",\"retries\":" << e.retries << ",\"fallbacks\":" << e.fallbacks
      << ",\"llsv_fallback\":" << (e.llsv_fallback ? "true" : "false")
      << ",\"satisfied\":" << (e.satisfied ? "true" : "false")
+     << ",\"trace_id\":\"" << obs::trace_id_hex(e.trace_id) << "\""
      << ",\"detail\":\"" << prof::json_escape(e.detail) << "\"}";
   return os.str();
 }
@@ -321,7 +329,7 @@ bool validate_events_jsonl(const std::string& jsonl, std::string* error) {
   static const char* kRequired[] = {
       "solver", "kind",       "sweep",   "mode",      "ranks",
       "ranks_after", "rel_error", "seconds", "flops",     "comm_bytes",
-      "retries", "fallbacks",  "llsv_fallback", "satisfied"};
+      "retries", "fallbacks",  "llsv_fallback", "satisfied", "trace_id"};
   std::map<std::string, int> last_sweep;  // "solver/kind" -> last index
   std::istringstream in(jsonl);
   std::string line;

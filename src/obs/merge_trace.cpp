@@ -1,0 +1,162 @@
+#include "obs/merge_trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "prof/report.hpp"
+
+namespace rahooi::obs {
+
+namespace {
+
+std::string fmt_us(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+void append_event(std::string* out, bool* first, const std::string& body) {
+  if (!*first) out->append(",\n");
+  *first = false;
+  out->append("  ");
+  out->append(body);
+}
+
+std::string meta_event(const char* name, int pid, int tid,
+                       const std::string& label) {
+  std::string e = "{\"ph\":\"M\",\"name\":\"";
+  e += name;
+  e += "\",\"pid\":" + std::to_string(pid);
+  if (tid >= 0) e += ",\"tid\":" + std::to_string(tid);
+  e += ",\"args\":{\"name\":\"" + prof::json_escape(label) + "\"}}";
+  return e;
+}
+
+}  // namespace
+
+std::string trace_id_hex(std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIx64, id);
+  return buf;
+}
+
+std::string merge_trace(const std::vector<JobTimeline>& jobs) {
+  // Timestamps are relative to the earliest record anywhere so lanes from
+  // different jobs line up on one wall-clock axis.
+  double t0 = 0.0;
+  bool have_t0 = false;
+  for (const JobTimeline& job : jobs) {
+    for (const RankTimeline& rt : job.ranks) {
+      for (const Record& r : rt.records) {
+        if (!have_t0 || r.time < t0) {
+          t0 = r.time;
+          have_t0 = true;
+        }
+      }
+    }
+  }
+
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const JobTimeline& job = jobs[j];
+    const int pid = static_cast<int>(j);
+    const std::string label =
+        "job " + job.name + " trace=" + trace_id_hex(job.trace_id);
+    append_event(&out, &first, meta_event("process_name", pid, -1, label));
+    for (const RankTimeline& rt : job.ranks) {
+      append_event(&out, &first,
+                   meta_event("thread_name", pid, rt.rank,
+                              "rank " + std::to_string(rt.rank)));
+      // Pair each collective_post with the next collective_complete for the
+      // same op into one complete event; everything unpaired is an instant.
+      std::vector<char> used(rt.records.size(), 0);
+      for (std::size_t i = 0; i < rt.records.size(); ++i) {
+        const Record& r = rt.records[i];
+        if (used[i] != 0) continue;
+        std::string e;
+        if (r.kind == RecordKind::collective_post) {
+          std::size_t match = rt.records.size();
+          for (std::size_t k = i + 1; k < rt.records.size(); ++k) {
+            if (rt.records[k].kind == RecordKind::collective_complete &&
+                std::string_view(rt.records[k].op) ==
+                    std::string_view(r.op)) {
+              match = k;
+              break;
+            }
+            if (rt.records[k].kind == RecordKind::collective_post) break;
+          }
+          if (match < rt.records.size()) {
+            const Record& c = rt.records[match];
+            used[match] = 1;
+            e = "{\"ph\":\"X\",\"name\":\"" + prof::json_escape(r.op) +
+                "\",\"pid\":" + std::to_string(pid) +
+                ",\"tid\":" + std::to_string(rt.rank) +
+                ",\"ts\":" + fmt_us(r.time - t0) +
+                ",\"dur\":" + fmt_us(c.time - r.time) +
+                ",\"args\":{\"seq\":" + std::to_string(r.seq) +
+                ",\"bytes\":" + std::to_string(c.bytes) + "}}";
+            append_event(&out, &first, e);
+            continue;
+          }
+        }
+        e = "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"";
+        e += record_kind_name(r.kind);
+        if (r.op[0] != '\0') {
+          e += ":";
+          e += prof::json_escape(r.op);
+        }
+        e += "\",\"pid\":" + std::to_string(pid) +
+             ",\"tid\":" + std::to_string(rt.rank) +
+             ",\"ts\":" + fmt_us(r.time - t0) +
+             ",\"args\":{\"seq\":" + std::to_string(r.seq) +
+             ",\"bytes\":" + std::to_string(r.bytes) + "}}";
+        append_event(&out, &first, e);
+      }
+    }
+  }
+  out += "\n],\n\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool validate_merged_trace(const std::string& json,
+                           const std::vector<JobTimeline>& jobs,
+                           std::string* error) {
+  const auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  std::string syntax_error;
+  if (!prof::validate_json_syntax(json, &syntax_error)) {
+    return fail("merged trace is not valid JSON: " + syntax_error);
+  }
+  if (json.find("\"traceEvents\"") == std::string::npos) {
+    return fail("merged trace has no traceEvents array");
+  }
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const JobTimeline& job = jobs[j];
+    const std::string label =
+        "job " + prof::json_escape(job.name) +
+        " trace=" + trace_id_hex(job.trace_id);
+    if (json.find(label) == std::string::npos) {
+      return fail("merged trace is missing the track label for job '" +
+                  job.name + "' (trace " + trace_id_hex(job.trace_id) + ")");
+    }
+    for (const RankTimeline& rt : job.ranks) {
+      if (rt.records.empty()) continue;
+      // Every populated rank lane must carry at least one non-metadata
+      // event addressed to this job's pid and the rank's tid.
+      const std::string lane = "\"pid\":" + std::to_string(j) +
+                               ",\"tid\":" + std::to_string(rt.rank) +
+                               ",\"ts\":";
+      if (json.find(lane) == std::string::npos) {
+        return fail("merged trace has no events on rank lane " +
+                    std::to_string(rt.rank) + " of job '" + job.name + "'");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace rahooi::obs

@@ -1,0 +1,51 @@
+#pragma once
+// obs::merge_trace — joins per-job, per-rank flight-recorder timelines into
+// one Chrome trace_event JSON document: one *process* track per job (pid =
+// job index, process_name = "job <name> trace=<hex trace id>") and one
+// *thread* lane per rank inside it (tid = rank). Collective post/complete
+// pairs render as complete ("X") events with their payload bytes; everything
+// else (span edges, fault hits, checkpoint/yield edges) renders as instant
+// ("i") events — so a chaos-soak failure report becomes a single
+// ui.perfetto.dev-loadable picture of what every rank of every failed job
+// was doing, joinable across jobs by trace id.
+//
+// The input is exactly what failure paths already carry:
+// comm::RankFailure::flight / serve::SolveReport::flight are
+// obs::RankTimeline values; callers group them per job (JobTimeline) and
+// hand the lot to merge_trace().
+
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+
+namespace rahooi::obs {
+
+/// One job's worth of flight-recorder snapshots: the per-rank timelines of
+/// the world (or worlds — retried attempts concatenate) the job ran on.
+struct JobTimeline {
+  std::string name;            ///< job name, for the track label
+  std::uint64_t trace_id = 0;  ///< the job's minted trace id
+  std::vector<RankTimeline> ranks;
+};
+
+/// Lower-case hex rendering of a trace id ("0" for the empty context) —
+/// the same form event_json and the exposition file use, so greps line up.
+std::string trace_id_hex(std::uint64_t id);
+
+/// Merges the jobs into one Chrome trace_event JSON document (see file
+/// comment for the track layout). Deterministic: jobs keep their input
+/// order, records their seq order; timestamps are microseconds relative to
+/// the earliest record across all jobs.
+std::string merge_trace(const std::vector<JobTimeline>& jobs);
+
+/// Structural validation of a merge_trace() document: syntactically valid
+/// JSON, a traceEvents array, a process_name metadata event per job whose
+/// label carries the job's trace id, and at least one event on every rank
+/// lane that had records. Returns false and fills `error` (if non-null) on
+/// the first violation.
+bool validate_merged_trace(const std::string& json,
+                           const std::vector<JobTimeline>& jobs,
+                           std::string* error = nullptr);
+
+}  // namespace rahooi::obs

@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "common/contracts.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace rahooi::prof {
 
@@ -36,6 +37,10 @@ std::size_t Recorder::open(std::string_view name, std::int64_t index) {
   }
   os.name_len = path_.size() - name_start;
   open_.push_back(os);
+  if (obs::FlightRecorder* fr = obs::flight_recorder()) {
+    fr->record(obs::RecordKind::span_begin,
+               std::string_view(path_).substr(name_start));
+  }
   return open_.size() - 1;
 }
 
@@ -56,6 +61,9 @@ void Recorder::close(double start, double seconds, double flops,
   e.messages = messages;
   events_.push_back(std::move(e));
   if (phase >= 0) phase_seconds_[phase] += self_seconds;
+  if (obs::FlightRecorder* fr = obs::flight_recorder()) {
+    fr->record(obs::RecordKind::span_end, events_.back().name);
+  }
   path_.resize(os.path_len);
   open_.pop_back();
 }

@@ -59,6 +59,13 @@ class Recorder {
   int rank() const { return rank_; }
   void set_rank(int rank) { rank_ = rank; }
 
+  /// Trace context the recorder's events were produced under (0 = none).
+  /// Set by Runtime::run from RunOptions::trace_id; the Chrome exporter
+  /// stamps it into the process label so per-job traces are greppable by
+  /// the same id as the metrics event log (docs/OBSERVABILITY.md).
+  std::uint64_t trace_id() const { return trace_id_; }
+  void set_trace_id(std::uint64_t id) { trace_id_ = id; }
+
   const std::vector<TraceEvent>& events() const { return events_; }
 
   /// Path of the currently open span chain ("" when none). Read by the
@@ -98,6 +105,7 @@ class Recorder {
   };
 
   int rank_ = 0;
+  std::uint64_t trace_id_ = 0;
   std::string path_;
   std::vector<OpenSpan> open_;
   std::vector<TraceEvent> events_;

@@ -126,6 +126,7 @@ struct AttemptConfig {
   std::string checkpoint_path;  ///< "" = no periodic checkpointing
   std::string restore_path;     ///< "" = fresh start
   const std::atomic<int>* yield_flag = nullptr;
+  std::uint64_t trace_id = 0;   ///< job's trace context (RunOptions::trace_id)
 };
 
 /// Runs one solve attempt for a dispatched job inside its own
@@ -165,6 +166,27 @@ void run_typed(Scheduler::JobId, SolveRequest& req, RankPlan& plan,
   // DESIGN.md §13, now closed). The Plan is owned by the Job and shared
   // across attempts, so rule counters persist through retries.
   ro.fault_plan = cfg.fault_plan;
+  ro.trace_id = cfg.trace_id;
+  // Failure capture: when this attempt's world dies, every rank's flight
+  // timeline lands in `failures` and the guard below moves them onto the
+  // report while the exception unwinds through us — the post-mortem "what
+  // was each rank doing" view (docs/OBSERVABILITY.md). A clean attempt
+  // leaves `failures` empty and the report untouched, so the timelines of
+  // the last absorbed fault survive a successful retry.
+  std::vector<comm::RankFailure> failures;
+  ro.failures = &failures;
+  struct FlightCapture {
+    std::vector<comm::RankFailure>& failures;
+    SolveReport& rep;
+    ~FlightCapture() {
+      if (failures.empty()) return;
+      rep.flight.clear();
+      rep.flight.reserve(failures.size());
+      for (comm::RankFailure& f : failures) {
+        rep.flight.push_back(std::move(f.flight));
+      }
+    }
+  } capture{failures, rep};
   comm::Runtime::run(
       plan.p,
       [&](comm::Comm& world) {
@@ -371,6 +393,12 @@ Scheduler::JobId Scheduler::submit(SolveRequest req) {
   job->submit_time = stats::now();
   job->report.id = id;
   job->report.name = job->req.name;
+  // Mint the job's trace context now, before admission can shed it: every
+  // report names its trace id, even one that never ran a world. The id here
+  // doubles as the submit sequence (ids are dense per scheduler), so the
+  // mint is stable across replays of one submission order.
+  job->trace_id = obs::mint_trace_id(id, id);
+  job->report.trace_id = job->trace_id;
   jobs_[id] = job;
   registry_.count(metrics::Counter::serve_submitted);
 
@@ -493,6 +521,42 @@ metrics::Registry Scheduler::metrics() const {
   return registry_;
 }
 
+obs::Status Scheduler::status() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  obs::Status s;
+  s.time = stats::now();
+  s.queue_depth = queue_.size();
+  s.cache_entries = cache_.size();
+  s.cache_capacity = options_.cache_capacity;
+  s.free_ranks = free_ranks_;
+  s.pool_ranks = options_.pool_ranks;
+  s.paused = paused_;
+  s.stopping = stopping_;
+  const auto row = [&s](const Job& j, const char* stage) {
+    obs::JobStatus js;
+    js.id = j.id;
+    js.name = j.req.name;
+    js.trace_id = j.trace_id;
+    js.priority = priority_name(j.req.priority);
+    js.stage = stage;
+    js.attempts = j.attempts;
+    js.world = j.plan.p;
+    return js;
+  };
+  for (const auto& job : queue_) {
+    ++s.queued_by_priority[static_cast<int>(job->req.priority)];
+    obs::JobStatus js = row(*job, "queued");
+    js.elapsed_s = std::max(0.0, s.time - job->submit_time);
+    s.jobs.push_back(std::move(js));
+  }
+  for (const auto& job : running_) {
+    obs::JobStatus js = row(*job, "running");
+    js.elapsed_s = std::max(0.0, s.time - job->dispatch_time);
+    s.jobs.push_back(std::move(js));
+  }
+  return s;
+}
+
 const Scheduler::Job* Scheduler::cache_find_locked(std::uint64_t key) const {
   for (const CacheEntry& e : cache_) {
     if (e.key == key) return e.source.get();
@@ -563,6 +627,9 @@ void Scheduler::finish_locked(const std::shared_ptr<Job>& job, Outcome outcome,
   e.fallbacks = r.solve.fallbacks;
   e.retries = r.solve.retries;
   e.satisfied = r.ok();
+  // Stamped explicitly: the dispatcher thread runs outside any world, so
+  // add_event's thread-local trace fallback would see no context here.
+  e.trace_id = j.trace_id;
   e.detail = std::string(outcome_name(outcome)) + ":" + r.name;
   registry_.add_event(std::move(e));
 
@@ -622,6 +689,7 @@ Scheduler::RunStatus Scheduler::run_job(Job& job, bool restore) {
     cfg.checkpoint_path = job.checkpoint_path;
     if (restore) cfg.restore_path = job.checkpoint_path;
     cfg.yield_flag = job.yield.get();
+    cfg.trace_id = job.trace_id;
 
     if (job.req.params.get_bool("Single precision", true)) {
       run_typed<float>(job.id, job.req, job.plan, r, cfg);
@@ -742,6 +810,7 @@ void Scheduler::worker_loop() {
         !job->checkpoint_path.empty() && file_exists(job->checkpoint_path);
     if (restore) registry_.count(metrics::Counter::serve_resumes);
 
+    job->dispatch_time = now;
     free_ranks_ -= job->plan.p;
     running_.push_back(job);
     lock.unlock();

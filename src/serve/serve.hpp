@@ -54,6 +54,8 @@
 #include "fault/fault.hpp"
 #include "io/param_file.hpp"
 #include "metrics/metrics.hpp"
+#include "obs/exporter.hpp"
+#include "obs/flight_recorder.hpp"
 #include "tensor/tucker_tensor.hpp"
 
 namespace rahooi::serve {
@@ -144,6 +146,16 @@ struct SolveReport {
   double solve_seconds = 0.0;  ///< dispatch -> result (0 for non-running outcomes)
   double total_seconds = 0.0;  ///< submit -> report
   core::SolveReport solve;     ///< degradation telemetry of the solve (rank 0)
+  /// Trace id minted for this job at submit (obs::mint_trace_id of the job
+  /// id and submission sequence). Every metrics event, solver report, and
+  /// flight timeline the job's worlds produced carries the same id, so a
+  /// post-mortem joins them without guessing (docs/OBSERVABILITY.md).
+  std::uint64_t trace_id = 0;
+  /// Per-rank flight-recorder timelines of the most recent *failed or
+  /// preempted* attempt (one entry per world rank). Empty for jobs that
+  /// never hit a world fault; retained even when a later retry succeeds, so
+  /// the report shows what the absorbed fault looked like.
+  std::vector<obs::RankTimeline> flight;
   std::shared_ptr<const JobResult> result;  ///< null unless ok()
 
   bool ok() const {
@@ -238,6 +250,13 @@ class Scheduler {
   /// gauge, latency histograms, per-job events), taken under the lock.
   metrics::Registry metrics() const;
 
+  /// Point-in-time scheduler introspection, taken under the lock: queue
+  /// depth (total and by priority), one JobStatus row per queued and
+  /// running job, cache occupancy, and the rank-pool budget. This is the
+  /// producer side of the obs::Exporter exposition/status files
+  /// (docs/OBSERVABILITY.md "The live plane").
+  obs::Status status() const;
+
   const ServeOptions& options() const { return options_; }
 
  private:
@@ -247,6 +266,8 @@ class Scheduler {
     RankPlan plan;
     double submit_time = 0.0;
     double deadline_s = 0.0;
+    double dispatch_time = 0.0;  ///< last dispatch (status elapsed column)
+    std::uint64_t trace_id = 0;  ///< minted at submit, rides RunOptions
     bool done = false;
     SolveReport report;
     // --- resilience state (docs/ROBUSTNESS.md "Serving resilience") ---

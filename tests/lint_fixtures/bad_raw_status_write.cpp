@@ -1,0 +1,16 @@
+// Lint fixture: library code writing a live-observability file with a bare
+// std::ofstream — a concurrent scraper could read the half-written file.
+// Publishes must go through obs::write_atomic (tmp+rename). Exactly one
+// [raw-status-write] violation expected. Never compiled.
+#include <fstream>
+#include <string>
+
+namespace fixture {
+
+inline void publish(const std::string& status_path,
+                    const std::string& content) {
+  std::ofstream out(status_path);
+  out << content;
+}
+
+}  // namespace fixture

@@ -1,5 +1,5 @@
 // Documentation lint (tier-1, ctest -L lint): keeps the operator docs and
-// the code they describe from drifting apart. Three checks, all
+// the code they describe from drifting apart. Four checks, all
 // dependency-free (no library link, like rahooi_lint):
 //
 //  1. Doc-map coverage — every docs/*.md is reachable from docs/INDEX.md,
@@ -12,6 +12,10 @@
 //     metrics::Counter enum entry, and every registered counter is
 //     documented in at least one of those two files (bidirectional: no
 //     phantom docs, no undocumented counters).
+//  4. Quantile exports — metrics::Histogram::quantile feeds p50/p95/p99
+//     samples into the flat snapshot and the exposition file; each of the
+//     three percentile names must be cited in docs/OBSERVABILITY.md so the
+//     SLO surface stays documented.
 //
 //   ./doc_check --root <repo root>
 
@@ -199,6 +203,16 @@ int main(int argc, char** argv) {
       fail("metrics::Counter::" + counter +
            " is documented in neither docs/OBSERVABILITY.md nor "
            "docs/SERVING.md");
+    }
+  }
+
+  // 4. The documented quantile surface: the snapshot/exposition layer
+  // exports p50/p95/p99 (metrics::Histogram::quantile); the observability
+  // doc must name all three.
+  for (const char* q : {"p50", "p95", "p99"}) {
+    if (observability.find(q) == std::string::npos) {
+      fail("docs/OBSERVABILITY.md does not document the exported " +
+           std::string(q) + " quantile samples");
     }
   }
 

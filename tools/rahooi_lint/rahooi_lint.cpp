@@ -48,6 +48,10 @@
 //                      run under a live prof::TraceSpan opened in an
 //                      enclosing scope, so watchdog park reports and
 //                      schedule-divergence reports always carry a span path.
+//   raw-status-write   std::ofstream aimed at a status/exposition path in
+//                      library code outside src/obs — live-observability
+//                      files must go through obs::write_atomic (tmp+rename)
+//                      so a concurrent scraper never reads a torn file.
 //   allow-syntax       a `rahooi-lint: allow(...)` directive with an empty
 //                      reason or an unknown rule name — the written
 //                      justification is mandatory.
@@ -62,6 +66,7 @@
 //   rahooi_lint --self-test <fixture-dir>             fixture self-test
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <set>
@@ -98,6 +103,7 @@ struct FileScope {
   bool span_zone = false; ///< under src/core/ or src/dist/
   bool clock_zone = false; ///< sanctioned raw-clock sites (prof, metrics,
                            ///< the stats::now() implementation)
+  bool obs = false;        ///< under src/obs/ (owns write_atomic)
   bool is_cpp = false;
   fs::path real;          ///< on-disk path (sibling-header lookup)
 };
@@ -107,7 +113,7 @@ const std::set<std::string>& lint_rules() {
       "no-cout",          "no-rand",         "no-naked-new",
       "no-sleep",         "raw-steady-clock", "throw-taxonomy",
       "raw-retry-loop",   "tracespan-discard", "include-order",
-      "collective-span",  "allow-syntax",
+      "collective-span",  "raw-status-write", "allow-syntax",
   };
   return kRules;
 }
@@ -246,6 +252,34 @@ void lint_tokens(const FileSource& f, const FileScope& scope,
       continue;
     }
 
+    // -- raw-status-write -------------------------------------------------
+    // An ofstream opened on (or fed from) something named like a status or
+    // exposition path: the live-observability files have a concurrent
+    // reader, so only obs::write_atomic's tmp+rename publish may touch
+    // them. Scan the declaration statement for the telltale name.
+    if (scope.library && !scope.obs && tok.text == "ofstream") {
+      bool aimed_at_status = false;
+      for (std::size_t j = i + 1; j < t.size() && t[j].text != ";"; ++j) {
+        if (t[j].kind != TokKind::ident) continue;
+        std::string lower = t[j].text;
+        std::transform(lower.begin(), lower.end(), lower.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        if (lower.find("status") != std::string::npos ||
+            lower.find("exposition") != std::string::npos ||
+            lower.find("prom") != std::string::npos) {
+          aimed_at_status = true;
+          break;
+        }
+      }
+      if (aimed_at_status) {
+        add(tok.line, "raw-status-write",
+            "direct std::ofstream write to a status/exposition path; "
+            "publish through obs::write_atomic (tmp+rename) so a concurrent "
+            "scraper never reads a torn file");
+      }
+      continue;
+    }
+
     // -- tracespan-discard + collective-span bookkeeping ------------------
     if (tok.text == "TraceSpan") {
       if (next_text(1) == "(") {
@@ -361,6 +395,7 @@ FileScope make_scope(const fs::path& real, const std::string& rel) {
   scope.clock_zone = starts_with(rel, "src/prof/") ||
                      starts_with(rel, "src/metrics/") ||
                      rel == "src/common/stats.cpp";
+  scope.obs = starts_with(rel, "src/obs/");
   scope.is_cpp = real.extension() == ".cpp";
   return scope;
 }
